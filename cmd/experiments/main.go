@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run table1          # one artifact
+//	experiments -run fig9,fig11      # several
+//	experiments -run all             # the whole evaluation
+//	experiments -list                # show what is available
+//
+// Output is a text rendering of each table/figure. -fast trades precision
+// for speed (short warmup/ROI), useful for smoke checks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"nomad/internal/harness"
+)
+
+func main() {
+	// Simulations allocate short-lived events at a high rate; a lazier GC
+	// trades memory for a large speedup on small machines.
+	debug.SetGCPercent(600)
+	var (
+		runIDs   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		fast     = flag.Bool("fast", false, "short warmup/ROI (quick, less precise)")
+		parallel = flag.Int("p", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "print each run's summary line")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := harness.Options{Fast: *fast, Parallelism: *parallel, Verbose: *verbose}
+	var exps []harness.Experiment
+	if *runIDs == "all" {
+		exps = harness.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := harness.Get(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

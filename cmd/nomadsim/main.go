@@ -1,0 +1,138 @@
+// Command nomadsim runs one simulation: a memory scheme on a Table I
+// workload surrogate, printing the full measurement set.
+//
+// Usage:
+//
+//	nomadsim -scheme NOMAD -workload cact
+//	nomadsim -scheme TiD -workload pr -cores 4 -pcshrs 8 -roi 2000000
+//	nomadsim -list    # show workloads
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+
+	"nomad/internal/mem"
+	"nomad/internal/schemes"
+	"nomad/internal/system"
+	"nomad/internal/workload"
+)
+
+func main() {
+	debug.SetGCPercent(600)
+	var (
+		scheme  = flag.String("scheme", "NOMAD", "Baseline | TiD | TDC | NOMAD | Ideal")
+		wl      = flag.String("workload", "cact", "Table I workload abbreviation")
+		cores   = flag.Int("cores", 0, "override core count")
+		pcshrs  = flag.Int("pcshrs", 0, "override PCSHR count (NOMAD)")
+		buffers = flag.Int("buffers", 0, "override page copy buffer count (NOMAD)")
+		distrib = flag.Bool("distributed", false, "distributed back-ends (NOMAD)")
+		warmup  = flag.Uint64("warmup", 0, "override warmup instructions per core")
+		roi     = flag.Uint64("roi", 0, "override ROI instructions per core")
+		seed    = flag.Uint64("seed", 0, "override workload seed")
+		touch   = flag.Uint64("touch", 0, "selective caching: cache on Nth walk (OS-managed schemes)")
+		asJSON  = flag.Bool("json", false, "emit the result as JSON")
+		list    = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-6s %-12s %-7s %-9s %s\n", "abbr", "name", "class", "suite", "footprint")
+		for _, sp := range workload.Specs() {
+			fmt.Printf("%-6s %-12s %-7s %-9s %d MB\n", sp.Abbr, sp.Name, sp.Class, sp.Suite,
+				sp.FootprintBytes()/(1024*1024))
+		}
+		return
+	}
+
+	sp, ok := workload.ByAbbr(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *wl)
+		os.Exit(2)
+	}
+	cfg := system.DefaultConfig()
+	cfg.Scheme = system.SchemeName(*scheme)
+	if *cores > 0 {
+		cfg.Cores = *cores
+	}
+	if *pcshrs > 0 {
+		cfg.Backend.PCSHRs = *pcshrs
+	}
+	if *buffers > 0 {
+		cfg.Backend.CopyBuffers = *buffers
+	}
+	cfg.Backend.Distributed = *distrib
+	if *warmup > 0 {
+		cfg.WarmupInstructions = *warmup
+	}
+	if *roi > 0 {
+		cfg.ROIInstructions = *roi
+	}
+	if *seed > 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Frontend.CacheTouchThreshold = *touch
+
+	m, err := system.New(cfg, sp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r, err := m.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scheme              %s\n", r.Scheme)
+	fmt.Printf("workload            %s (%s, %s)\n", sp.Name, sp.Abbr, sp.Class)
+	fmt.Printf("cores               %d\n", r.Cores)
+	fmt.Printf("ROI cycles          %d (%.3f ms)\n", r.Cycles, r.Seconds*1e3)
+	fmt.Printf("instructions        %d\n", r.Instructions)
+	fmt.Printf("IPC (system)        %.3f\n", r.IPC)
+	fmt.Printf("OS stall ratio      %.2f%%\n", 100*r.OSStallRatio)
+	fmt.Printf("mem stall ratio     %.2f%%\n", 100*r.MemStallRatio)
+	fmt.Printf("avg DC access time  %.1f cycles\n", r.AvgDCAccessTime)
+	fmt.Printf("LLC misses          %d (%.1f per us)\n", r.LLCMisses, r.LLCMPMS)
+	fmt.Printf("RMHB                %.2f GB/s\n", r.RMHBGBs)
+	fmt.Printf("tag misses          %d (avg latency %.0f, max %d cycles)\n",
+		r.TagMisses, r.AvgTagMgmtLatency, r.MaxTagMgmtLatency)
+	fmt.Printf("evictions           %d (%d dirty)\n", r.Evictions, r.DirtyEvictions)
+	fmt.Printf("data hits/misses    %d / %d (buffer hit rate %.1f%%)\n",
+		r.DataHits, r.DataMisses, 100*r.BufferHitRate)
+	fmt.Printf("sub-entry overflow  %d\n", r.SubEntryOverflows)
+	fmt.Printf("HBM                 %.1f GB/s (util %.1f%%, row hit %.1f%%, read lat %.0f cyc)\n",
+		r.HBMGBs, 100*r.HBMUtilization, 100*r.HBMRowHitRate, r.HBMAvgReadLat)
+	fmt.Printf("DDR read latency    %.0f cyc\n", r.DDRAvgReadLat)
+	for k := 0; k < mem.NumKinds; k++ {
+		if r.HBMBytesByKind[k] == 0 {
+			continue
+		}
+		fmt.Printf("  hbm %-10s     %.2f GB/s\n", mem.Kind(k), float64(r.HBMBytesByKind[k])/r.Seconds/1e9)
+	}
+	fmt.Printf("off-package         %.1f GB/s (util %.1f%%)\n", r.OffPkgGBs, 100*r.DDRUtilization)
+	for k := 0; k < mem.NumKinds; k++ {
+		if r.DDRBytesByKind[k] == 0 {
+			continue
+		}
+		fmt.Printf("  ddr %-10s     %.2f GB/s\n", mem.Kind(k), float64(r.DDRBytesByKind[k])/r.Seconds/1e9)
+	}
+	if tid, ok := m.Scheme().(*schemes.TiD); ok {
+		ts := tid.TiDStats()
+		fmt.Printf("tid                 hits %d misses %d (rate %.1f%%) coalesced %d wb %d mshrStalls %d\n",
+			ts.Hits, ts.Misses, 100*ts.MissRate(), ts.Coalesced, ts.Writebacks, ts.MSHRStalls)
+	}
+}

@@ -1,0 +1,54 @@
+package nomad_test
+
+import (
+	"fmt"
+	"os"
+
+	"nomad"
+)
+
+// Enumerating the Table I workload surrogates is deterministic.
+func ExampleWorkloads() {
+	for _, w := range nomad.WorkloadsByClass("Excess") {
+		fmt.Printf("%s (%s, %s)\n", w.Abbr(), w.Name(), w.Suite())
+	}
+	// Output:
+	// cact (cactusADM, SPEC2006)
+	// sssp (sssp, GAPBS)
+	// bwav (bwaves, SPEC2006)
+}
+
+// Run simulates one scheme on one workload. (Compile-only example: a full
+// simulation takes seconds.)
+func ExampleRun() {
+	w, err := nomad.WorkloadByAbbr("cact")
+	if err != nil {
+		panic(err)
+	}
+	res, err := nomad.Run(nomad.Config{Scheme: nomad.SchemeNOMAD}, w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("IPC %.2f, thread stalled %.1f%% of cycles\n", res.IPC, 100*res.OSStallRatio)
+}
+
+// NewWorkload builds a custom synthetic workload from generator knobs.
+func ExampleNewWorkload() {
+	w := nomad.NewWorkload(nomad.CustomSpec{
+		Name:           "scanner",
+		FootprintPages: 16384, // 64 MB sequential scan per core
+		RunBlocks:      64,
+		SeqPageFrac:    0.95,
+		GapMean:        12,
+		WriteFrac:      0.1,
+	})
+	fmt.Println(w.Name(), w.Class())
+	// Output: scanner Custom
+}
+
+// RunExperiment regenerates a paper artifact. (Compile-only example.)
+func ExampleRunExperiment() {
+	if err := nomad.RunExperiment("table1", nomad.ExperimentOptions{Fast: true}, os.Stdout); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Custom workload: define a synthetic application with the public generator
+// knobs and find out which DRAM-cache scheme suits it.
+//
+// The example models an in-memory key-value store: a large streamed log
+// (compaction), a DC-resident index (random lookups), and a small hot
+// working set — then asks whether its RMHB class predicts the winner, as
+// Table I / Fig. 2 of the paper suggest.
+//
+// Run with:
+//
+//	go run ./examples/custom_workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nomad"
+)
+
+func main() {
+	kv := nomad.NewWorkload(nomad.CustomSpec{
+		Name:           "kvstore",
+		FootprintPages: 24_000, // ~94 MB compaction log per core
+		RunBlocks:      64,     // log scanned sequentially
+		SeqPageFrac:    0.9,
+		GapMean:        18,
+		WriteFrac:      0.35,
+		WarmPages:      1024, // ~4 MB index per core: misses the LLC, fits the DC
+		WarmFrac:       0.70,
+		HotPages:       128, // request-dispatch structures
+		HotFrac:        0.10,
+	})
+
+	cfg := nomad.Config{
+		WarmupInstructions: 300_000,
+		ROIInstructions:    500_000,
+	}
+
+	// Classify first: measure RMHB under the Ideal configuration.
+	cfg.Scheme = nomad.SchemeIdeal
+	ideal, err := nomad.Run(cfg, kv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kvstore under Ideal: RMHB %.1f GB/s, %.0f LLC misses/us\n",
+		ideal.RMHBGBs, ideal.LLCMPMS)
+	switch {
+	case ideal.RMHBGBs > 25.6:
+		fmt.Println("-> Excess class: expect blocking OS management to struggle")
+	case ideal.RMHBGBs > 18:
+		fmt.Println("-> Tight class: miss handling nearly saturates off-package memory")
+	case ideal.RMHBGBs > 8:
+		fmt.Println("-> Loose class: OS-managed caching is comfortable")
+	default:
+		fmt.Println("-> Few class: any DRAM cache gets near-ideal behaviour")
+	}
+	fmt.Println()
+
+	for _, s := range nomad.Schemes() {
+		cfg.Scheme = s
+		res, err := nomad.Run(cfg, kv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s IPC %.3f | stall %.1f%% | DC access %.0f cyc | off-pkg %.1f GB/s\n",
+			s, res.IPC, 100*res.OSStallRatio, res.AvgDCAccessTime, res.OffPkgBandwidthGBs)
+	}
+}

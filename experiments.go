@@ -1,0 +1,48 @@
+package nomad
+
+import (
+	"fmt"
+	"io"
+
+	"nomad/internal/harness"
+)
+
+// ExperimentInfo describes one reproducible paper artifact.
+type ExperimentInfo struct {
+	ID    string // e.g. "table1", "fig9"
+	Title string
+}
+
+// ExperimentOptions tunes experiment execution.
+type ExperimentOptions struct {
+	// Fast shrinks warmup/ROI for quick, lower-precision runs.
+	Fast bool
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Verbose prints each run's summary line as it completes.
+	Verbose bool
+}
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []ExperimentInfo {
+	all := harness.All()
+	out := make([]ExperimentInfo, len(all))
+	for i, e := range all {
+		out[i] = ExperimentInfo{ID: e.ID, Title: e.Title}
+	}
+	return out
+}
+
+// RunExperiment regenerates one paper artifact, writing its text rendering
+// to w.
+func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
+	e, ok := harness.Get(id)
+	if !ok {
+		return fmt.Errorf("nomad: unknown experiment %q", id)
+	}
+	return e.Run(harness.Options{
+		Fast:        opts.Fast,
+		Parallelism: opts.Parallelism,
+		Verbose:     opts.Verbose,
+	}, w)
+}

@@ -1,0 +1,295 @@
+// Package cache implements the SRAM cache hierarchy (private L1/L2, shared
+// LLC): set-associative, LRU, writeback, write-allocate, with MSHRs that
+// coalesce misses to the same block — the non-blocking cache design of
+// Kroft / Farkas & Jouppi that both the HW DRAM-cache scheme and the NOMAD
+// back-end are modeled after.
+//
+// Levels are chained through the Lower interface; below the LLC sits the
+// memory scheme under evaluation (Baseline, TiD, TDC, NOMAD, or Ideal).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nomad/internal/mem"
+	"nomad/internal/sim"
+)
+
+// Lower is the downstream side of a cache level: the next cache level or,
+// below the LLC, the DRAM-cache scheme.
+type Lower interface {
+	// Access performs a block-granular access. done runs when a read's
+	// data is available or a write is accepted.
+	Access(req *mem.Request, done mem.Done)
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name    string
+	Sets    int
+	Ways    int
+	Latency uint64 // lookup latency in cycles
+	MSHRs   int
+	// WriteAround, when set, makes write misses bypass allocation and go
+	// straight downstream (used by nothing by default; kept for ablation).
+	WriteAround bool
+}
+
+// SizeBytes returns the capacity of a cache with this geometry.
+func (c Config) SizeBytes() uint64 {
+	return uint64(c.Sets) * uint64(c.Ways) * mem.BlockSize
+}
+
+// Stats counts per-level events.
+type Stats struct {
+	Hits         uint64
+	Misses       uint64
+	Writebacks   uint64
+	Coalesced    uint64 // misses merged into an existing MSHR
+	MSHRStalls   uint64 // accesses delayed because all MSHRs were busy
+	FlushedLines uint64
+	FlushWBs     uint64
+}
+
+// MissRate returns misses / (hits+misses).
+func (s *Stats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+type waiter struct {
+	write bool
+	done  mem.Done
+}
+
+type mshr struct {
+	block   uint64
+	waiters []waiter
+	// write records whether any coalesced access was a write (line will
+	// be installed dirty).
+	write bool
+}
+
+// Cache is one level. It is event-driven: Access schedules the lookup after
+// the configured latency.
+type Cache struct {
+	cfg   Config
+	eng   *sim.Engine
+	lower Lower
+	sets  [][]line
+	mshrs map[uint64]*mshr
+	// pending holds accesses stalled on MSHR exhaustion, serviced FIFO as
+	// MSHRs free.
+	pending []pendingAccess
+	lruTick uint64
+	stats   Stats
+
+	setMask  uint64
+	setShift uint
+}
+
+type pendingAccess struct {
+	req  mem.Request
+	done mem.Done
+}
+
+// New builds a cache level on top of lower.
+func New(eng *sim.Engine, cfg Config, lower Lower) *Cache {
+	if cfg.Sets&(cfg.Sets-1) != 0 || cfg.Sets <= 0 {
+		panic(fmt.Sprintf("cache %s: sets must be a positive power of two, got %d", cfg.Name, cfg.Sets))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive", cfg.Name))
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 8
+	}
+	c := &Cache{
+		cfg:      cfg,
+		eng:      eng,
+		lower:    lower,
+		sets:     make([][]line, cfg.Sets),
+		mshrs:    make(map[uint64]*mshr, cfg.MSHRs),
+		setMask:  uint64(cfg.Sets - 1),
+		setShift: mem.BlockBits,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	_ = bits.UintSize // keep math/bits for future geometry checks
+	return c
+}
+
+// Stats returns the level's counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(block uint64) uint64 { return block & c.setMask }
+func (c *Cache) tagOf(block uint64) uint64 {
+	return block >> uint(bits.TrailingZeros64(uint64(c.cfg.Sets)))
+}
+
+// Access performs a cache access for req (block-aligned internally). done is
+// invoked when the access completes at this level.
+func (c *Cache) Access(req *mem.Request, done mem.Done) {
+	r := *req // copy: the caller may reuse the request
+	c.eng.Schedule(c.cfg.Latency, func() {
+		c.lookup(r, done, false)
+	})
+}
+
+// lookup performs the tag check. retried accesses (re-admitted after MSHR
+// exhaustion) are not re-counted in the hit/miss statistics.
+func (c *Cache) lookup(req mem.Request, done mem.Done, retried bool) {
+	block := mem.BlockNum(req.Addr)
+	set := c.sets[c.setIndex(block)]
+	tag := c.tagOf(block)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			if !retried {
+				c.stats.Hits++
+			}
+			c.lruTick++
+			l.lru = c.lruTick
+			if req.Write {
+				l.dirty = true
+			}
+			if done != nil {
+				done()
+			}
+			return
+		}
+	}
+	c.miss(req, block, done, retried)
+}
+
+func (c *Cache) miss(req mem.Request, block uint64, done mem.Done, retried bool) {
+	if !retried {
+		c.stats.Misses++
+	}
+	if m, ok := c.mshrs[block]; ok {
+		c.stats.Coalesced++
+		m.waiters = append(m.waiters, waiter{write: req.Write, done: done})
+		if req.Write {
+			m.write = true
+		}
+		return
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.stats.MSHRStalls++
+		c.pending = append(c.pending, pendingAccess{req: req, done: done})
+		return
+	}
+	m := &mshr{block: block, write: req.Write}
+	m.waiters = append(m.waiters, waiter{write: req.Write, done: done})
+	c.mshrs[block] = m
+
+	fill := req
+	fill.Addr = mem.BlockAligned(req.Addr)
+	fill.Write = false // fetch the block; the write merges on fill
+	c.lower.Access(&fill, func() {
+		c.fill(m)
+	})
+}
+
+func (c *Cache) fill(m *mshr) {
+	block := m.block
+	setIdx := c.setIndex(block)
+	set := c.sets[setIdx]
+	tag := c.tagOf(block)
+
+	// Victim selection: invalid first, else LRU.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	found := false
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			found = true
+			break
+		}
+		if set[i].lru < oldest {
+			oldest = set[i].lru
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if !found && v.valid && v.dirty {
+		c.stats.Writebacks++
+		// Reconstruct the victim's block address from tag and set.
+		vblock := v.tag<<uint(bits.TrailingZeros64(uint64(c.cfg.Sets))) | setIdx
+		wb := mem.Request{
+			Addr:  vblock << mem.BlockBits,
+			Write: true,
+			Kind:  mem.KindDemand,
+			Core:  -1,
+		}
+		c.lower.Access(&wb, nil)
+	}
+	c.lruTick++
+	*v = line{tag: tag, valid: true, dirty: m.write, lru: c.lruTick}
+
+	delete(c.mshrs, block)
+	for _, w := range m.waiters {
+		if w.done != nil {
+			w.done()
+		}
+	}
+	// An MSHR freed: admit one stalled access.
+	if len(c.pending) > 0 {
+		p := c.pending[0]
+		c.pending = c.pending[1:]
+		c.eng.Schedule(0, func() { c.lookup(p.req, p.done, true) })
+	}
+}
+
+// FlushPage invalidates every block of the given frame-aligned address range
+// (one 4 KB page) at this level, writing dirty lines back downstream. It
+// models flush_cache_range in the eviction daemon (Algorithm 2, line 3) and
+// returns the number of dirty lines written back.
+func (c *Cache) FlushPage(pageAddr uint64) int {
+	wbs := 0
+	base := mem.BlockNum(pageAddr &^ (mem.PageSize - 1))
+	for i := uint64(0); i < mem.SubBlocksPerPage; i++ {
+		block := base + i
+		set := c.sets[c.setIndex(block)]
+		tag := c.tagOf(block)
+		for j := range set {
+			l := &set[j]
+			if l.valid && l.tag == tag {
+				if l.dirty {
+					wbs++
+					c.stats.FlushWBs++
+					wb := mem.Request{
+						Addr:  block << mem.BlockBits,
+						Write: true,
+						Kind:  mem.KindDemand,
+						Core:  -1,
+					}
+					c.lower.Access(&wb, nil)
+				}
+				l.valid = false
+				l.dirty = false
+				c.stats.FlushedLines++
+			}
+		}
+	}
+	return wbs
+}
+
+// OutstandingMSHRs reports how many MSHRs are in use (for tests).
+func (c *Cache) OutstandingMSHRs() int { return len(c.mshrs) }

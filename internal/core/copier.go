@@ -1,0 +1,60 @@
+package core
+
+import (
+	"nomad/internal/dram"
+	"nomad/internal/mem"
+	"nomad/internal/sim"
+)
+
+// Copier performs OS-driven page copies without back-end hardware. The
+// blocking TDC scheme uses it both for miss-handling cache fills (the
+// application thread waits for the copy to finish) and for eviction
+// writebacks (fire-and-forget from the background daemon).
+//
+// A copy moves one 4 KB page as 64 sub-block reads from the source device
+// followed by 64 writes to the destination, with a bounded number of reads
+// in flight — the same data movement the NOMAD back-end performs, minus the
+// PCSHRs, buffersharing, and critical-data-first logic.
+type Copier struct {
+	eng              *sim.Engine
+	maxReadsInFlight int
+}
+
+// NewCopier builds a Copier with the given read pacing (<=0 selects 4).
+func NewCopier(eng *sim.Engine, maxReadsInFlight int) *Copier {
+	if maxReadsInFlight <= 0 {
+		maxReadsInFlight = 8
+	}
+	return &Copier{eng: eng, maxReadsInFlight: maxReadsInFlight}
+}
+
+// Copy moves srcFrame on src to dstFrame on dst, tagging all traffic with
+// kind. done (may be nil) fires when the last destination write completes.
+func (c *Copier) Copy(src *dram.Device, srcFrame uint64, dst *dram.Device, dstFrame uint64, kind mem.Kind, done mem.Done) {
+	var (
+		nextRead   uint
+		reads      int
+		writesDone uint
+	)
+	var issue func()
+	issue = func() {
+		for reads < c.maxReadsInFlight && nextRead < mem.SubBlocksPerPage {
+			si := nextRead
+			nextRead++
+			reads++
+			srcAddr := mem.AddrInFrame(srcFrame, uint64(si)*mem.BlockSize)
+			dstAddr := mem.AddrInFrame(dstFrame, uint64(si)*mem.BlockSize)
+			src.Access(srcAddr, false, kind, false, func() {
+				reads--
+				dst.Access(dstAddr, true, kind, false, func() {
+					writesDone++
+					if writesDone == mem.SubBlocksPerPage && done != nil {
+						done()
+					}
+				})
+				issue()
+			})
+		}
+	}
+	issue()
+}

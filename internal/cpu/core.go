@@ -1,0 +1,271 @@
+// Package cpu models the out-of-order cores of the evaluated chip
+// multiprocessor at the level the paper's results depend on: a bounded
+// reorder window (instructions retire in order, at most Width per cycle), a
+// bounded number of outstanding loads (memory-level parallelism), and
+// OS-routine blocking — the mechanism through which the blocking TDC scheme
+// loses performance and NOMAD's 400-cycle tag handler appears.
+//
+// The core consumes a workload.Stream and issues memory operations through a
+// MemPort (translation + SRAM hierarchy, wired by internal/system). Stores
+// retire through an idealized store buffer (they complete at insert but
+// still traverse the hierarchy and consume bandwidth); loads hold their ROB
+// position until data returns.
+//
+// Representation: instructions are counted, not materialized. The ROB is the
+// window [retireSeq, insertSeq); only loads occupy slots in a fixed ring
+// (program order), so the per-cycle work and allocation are independent of
+// instruction count.
+//
+// Stall accounting distinguishes:
+//   - OSBlocked: cycles the thread is suspended by an OS routine (the
+//     paper's "application stall cycles", Fig. 11);
+//   - MemStall: cycles nothing retired because the ROB head was an
+//     incomplete load;
+//   - FrontStall: cycles nothing retired or inserted for other reasons.
+package cpu
+
+import (
+	"nomad/internal/workload"
+)
+
+// MemPort is the core's path into the memory system. Load's done callback
+// fires when data is available; Store is fire-and-forget (store buffer).
+type MemPort interface {
+	Load(core int, vaddr uint64, done func())
+	Store(core int, vaddr uint64)
+}
+
+// Config sizes one core.
+type Config struct {
+	Width    int // issue/retire width
+	ROBSize  int
+	MaxLoads int // outstanding load cap (LSQ/MSHR reach)
+}
+
+// DefaultConfig matches the evaluation setup (4-wide, 224-entry ROB, 16
+// outstanding loads).
+func DefaultConfig() Config {
+	return Config{Width: 4, ROBSize: 224, MaxLoads: 6}
+}
+
+// Stats counts one core's progress and stalls.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	MemOps       uint64
+	Loads        uint64
+	Stores       uint64
+	// OSBlockedCycles: thread suspended by an OS routine.
+	OSBlockedCycles uint64
+	// MemStallCycles: no retirement; ROB head was a pending load.
+	MemStallCycles uint64
+	// FrontStallCycles: no retirement and no insertion, other causes.
+	FrontStallCycles uint64
+	// OSBlockEvents counts suspensions (≈ DC tag misses for OS schemes).
+	OSBlockEvents uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// StallRatio returns the fraction of cycles the thread was OS-suspended.
+func (s *Stats) StallRatio() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.OSBlockedCycles) / float64(s.Cycles)
+}
+
+type loadSlot struct {
+	pos  uint64 // absolute instruction index
+	done bool
+}
+
+// Core is one simulated CPU. Register it as a sim.Ticker.
+type Core struct {
+	ID   int
+	cfg  Config
+	port MemPort
+	wl   *workload.Stream
+
+	insertSeq uint64 // next instruction index to insert
+	retireSeq uint64 // next instruction index to retire
+
+	loads     []loadSlot // ring, program order; cap = ROBSize
+	loadHead  int
+	loadCount int
+	inFlight  int // issued loads whose data has not returned
+
+	gapLeft uint64
+	memOp   *workload.Op // fetched op whose memory access is not yet inserted
+	opBuf   workload.Op
+
+	// blockCount tracks overlapping indefinite suspensions (a core can
+	// have several tag misses in flight); blockedUntil handles
+	// fixed-duration suspensions. The thread runs only when both clear.
+	blockCount   int
+	blockedUntil uint64
+
+	stats Stats
+}
+
+// New builds a core. The caller registers it with the engine.
+func New(id int, cfg Config, port MemPort, wl *workload.Stream) *Core {
+	if cfg.Width <= 0 || cfg.ROBSize <= 0 || cfg.MaxLoads <= 0 {
+		panic("cpu: Width, ROBSize, and MaxLoads must be positive")
+	}
+	return &Core{
+		ID:    id,
+		cfg:   cfg,
+		port:  port,
+		wl:    wl,
+		loads: make([]loadSlot, cfg.ROBSize),
+	}
+}
+
+// Stats returns the core's counters.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Block suspends the thread until a matching Unblock (OS routine of unknown
+// duration, e.g. a TDC page copy). Calls nest.
+func (c *Core) Block() {
+	if c.blockCount == 0 {
+		c.stats.OSBlockEvents++
+	}
+	c.blockCount++
+}
+
+// BlockFor suspends the thread for a fixed number of cycles from now (e.g.
+// NOMAD's tag-management latency). now is the current cycle.
+func (c *Core) BlockFor(now, cycles uint64) {
+	until := now + cycles
+	if !c.Blocked() {
+		c.stats.OSBlockEvents++
+	}
+	if until > c.blockedUntil {
+		c.blockedUntil = until
+	}
+}
+
+// Unblock undoes one Block.
+func (c *Core) Unblock() {
+	if c.blockCount == 0 {
+		panic("cpu: Unblock without Block")
+	}
+	c.blockCount--
+}
+
+// Blocked reports whether the thread is currently OS-suspended.
+func (c *Core) Blocked() bool { return c.blockCount > 0 }
+
+// OutstandingLoads reports in-flight loads (tests).
+func (c *Core) OutstandingLoads() int { return c.inFlight }
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(now uint64) {
+	c.stats.Cycles++
+
+	if c.blockCount > 0 || now < c.blockedUntil {
+		c.stats.OSBlockedCycles++
+		return
+	}
+
+	// Retire: advance retireSeq up to Width instructions, stopping at the
+	// first incomplete load.
+	limit := c.retireSeq + uint64(c.cfg.Width)
+	if limit > c.insertSeq {
+		limit = c.insertSeq
+	}
+	headBlocked := false
+	for c.loadCount > 0 {
+		h := &c.loads[c.loadHead]
+		if h.pos >= limit {
+			break
+		}
+		if !h.done {
+			headBlocked = h.pos == c.retireSeq
+			limit = h.pos
+			break
+		}
+		c.loadHead++
+		if c.loadHead == len(c.loads) {
+			c.loadHead = 0
+		}
+		c.loadCount--
+	}
+	retired := limit - c.retireSeq
+	c.retireSeq = limit
+	c.stats.Instructions += retired
+
+	// Insert up to Width new instructions.
+	budget := uint64(c.cfg.Width)
+	inserted := uint64(0)
+	for budget > 0 && c.insertSeq-c.retireSeq < uint64(c.cfg.ROBSize) {
+		if c.gapLeft > 0 {
+			// Bulk-insert non-memory instructions (they complete
+			// immediately).
+			n := c.gapLeft
+			if n > budget {
+				n = budget
+			}
+			if space := uint64(c.cfg.ROBSize) - (c.insertSeq - c.retireSeq); n > space {
+				n = space
+			}
+			c.gapLeft -= n
+			c.insertSeq += n
+			budget -= n
+			inserted += n
+			continue
+		}
+		if c.memOp != nil {
+			op := c.memOp
+			if op.Write {
+				c.stats.MemOps++
+				c.stats.Stores++
+				c.insertSeq++
+				budget--
+				inserted++
+				c.port.Store(c.ID, op.Addr)
+				c.memOp = nil
+				continue
+			}
+			if c.inFlight >= c.cfg.MaxLoads {
+				break // load cap: wait for an outstanding load
+			}
+			c.stats.MemOps++
+			c.stats.Loads++
+			idx := (c.loadHead + c.loadCount) % len(c.loads)
+			c.loads[idx] = loadSlot{pos: c.insertSeq, done: false}
+			c.loadCount++
+			c.inFlight++
+			c.insertSeq++
+			budget--
+			inserted++
+			slot := &c.loads[idx]
+			c.port.Load(c.ID, op.Addr, func() {
+				slot.done = true
+				c.inFlight--
+			})
+			c.memOp = nil
+			continue
+		}
+		// Fetch the next operation.
+		c.opBuf = c.wl.Next()
+		c.gapLeft = c.opBuf.Gap
+		c.memOp = &c.opBuf
+	}
+
+	if retired == 0 {
+		switch {
+		case headBlocked:
+			c.stats.MemStallCycles++
+		case inserted == 0:
+			c.stats.FrontStallCycles++
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package cpu
+
+import (
+	"testing"
+
+	"nomad/internal/sim"
+	"nomad/internal/workload"
+)
+
+// fakePort completes loads after a fixed delay and records issue counts.
+type fakePort struct {
+	eng    *sim.Engine
+	delay  uint64
+	loads  int
+	stores int
+	// maxConcurrent tracks the peak number of outstanding loads.
+	outstanding   int
+	maxConcurrent int
+}
+
+func (p *fakePort) Load(core int, vaddr uint64, done func()) {
+	p.loads++
+	p.outstanding++
+	if p.outstanding > p.maxConcurrent {
+		p.maxConcurrent = p.outstanding
+	}
+	p.eng.Schedule(p.delay, func() {
+		p.outstanding--
+		done()
+	})
+}
+
+func (p *fakePort) Store(core int, vaddr uint64) { p.stores++ }
+
+// stream builds a workload whose every op has the given gap; write fraction
+// zero unless stated.
+func stream(gap int, writeFrac float64) *workload.Stream {
+	return workload.NewStream(workload.Spec{
+		Name: "t", FootprintPages: 64, RunBlocks: 64, SeqPageFrac: 1,
+		GapMean: gap, WriteFrac: writeFrac,
+	}, 1)
+}
+
+func newCore(eng *sim.Engine, cfg Config, wl *workload.Stream, delay uint64) (*Core, *fakePort) {
+	p := &fakePort{eng: eng, delay: delay}
+	c := New(0, cfg, p, wl)
+	eng.AddTicker(c)
+	return c, p
+}
+
+func TestComputeBoundIPC(t *testing.T) {
+	eng := sim.New()
+	// Huge gaps + instant loads: IPC should approach the width.
+	c, _ := newCore(eng, Config{Width: 4, ROBSize: 128, MaxLoads: 8}, stream(1000, 0), 1)
+	eng.Run(10000)
+	if ipc := c.Stats().IPC(); ipc < 3.5 {
+		t.Fatalf("compute-bound IPC = %.2f, want ~4", ipc)
+	}
+}
+
+func TestMemoryBoundThroughput(t *testing.T) {
+	eng := sim.New()
+	// Gap 0, load latency 100, MLP 4: ~1 load per 25 cycles.
+	c, p := newCore(eng, Config{Width: 4, ROBSize: 128, MaxLoads: 4}, stream(0, 0), 100)
+	eng.Run(10000)
+	if p.maxConcurrent > 4 {
+		t.Fatalf("outstanding loads peaked at %d, cap 4", p.maxConcurrent)
+	}
+	got := float64(c.Stats().Loads) / 10000
+	want := 4.0 / 100.0
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("load rate %.4f/cycle, want ~%.4f", got, want)
+	}
+	if c.Stats().MemStallCycles == 0 {
+		t.Fatal("memory-bound run recorded no memory stalls")
+	}
+}
+
+func TestMLPScalesThroughput(t *testing.T) {
+	rate := func(mlp int) float64 {
+		eng := sim.New()
+		c, _ := newCore(eng, Config{Width: 4, ROBSize: 256, MaxLoads: mlp}, stream(0, 0), 100)
+		eng.Run(20000)
+		return c.Stats().IPC()
+	}
+	low, high := rate(2), rate(8)
+	if high < low*2.5 {
+		t.Fatalf("IPC with MLP 8 (%.3f) should be ~4x MLP 2 (%.3f)", high, low)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	eng := sim.New()
+	// All stores, slow memory: the store buffer hides everything.
+	c, p := newCore(eng, Config{Width: 4, ROBSize: 64, MaxLoads: 2}, stream(3, 1.0), 500)
+	eng.Run(5000)
+	if ipc := c.Stats().IPC(); ipc < 3.0 {
+		t.Fatalf("store-only IPC = %.2f, want ~4 (store buffer)", ipc)
+	}
+	if p.stores == 0 {
+		t.Fatal("no stores reached the port")
+	}
+}
+
+func TestBlockSuspendsThread(t *testing.T) {
+	eng := sim.New()
+	c, _ := newCore(eng, Config{Width: 4, ROBSize: 64, MaxLoads: 4}, stream(10, 0), 10)
+	eng.Run(100)
+	before := c.Stats().Instructions
+	c.Block()
+	eng.Run(200)
+	if c.Stats().Instructions != before {
+		t.Fatal("blocked core retired instructions")
+	}
+	if c.Stats().OSBlockedCycles != 200 {
+		t.Fatalf("OSBlockedCycles = %d, want 200", c.Stats().OSBlockedCycles)
+	}
+	c.Unblock()
+	eng.Run(200)
+	if c.Stats().Instructions == before {
+		t.Fatal("unblocked core made no progress")
+	}
+	if c.Stats().OSBlockEvents != 1 {
+		t.Fatalf("OSBlockEvents = %d, want 1", c.Stats().OSBlockEvents)
+	}
+}
+
+func TestBlockNesting(t *testing.T) {
+	eng := sim.New()
+	c, _ := newCore(eng, Config{Width: 4, ROBSize: 64, MaxLoads: 4}, stream(10, 0), 10)
+	c.Block()
+	c.Block()
+	c.Unblock()
+	if !c.Blocked() {
+		t.Fatal("nested block released too early")
+	}
+	c.Unblock()
+	if c.Blocked() {
+		t.Fatal("still blocked after matching unblocks")
+	}
+}
+
+func TestBlockFor(t *testing.T) {
+	eng := sim.New()
+	c, _ := newCore(eng, Config{Width: 4, ROBSize: 64, MaxLoads: 4}, stream(10, 0), 10)
+	eng.Run(10)
+	before := c.Stats().Instructions
+	c.BlockFor(eng.Now(), 100)
+	eng.Run(99) // blocked through cycle now+99; resumes at now+100
+	if c.Stats().Instructions != before {
+		t.Fatal("core retired during fixed-duration block")
+	}
+	eng.Run(100)
+	if c.Stats().Instructions == before {
+		t.Fatal("core never resumed after BlockFor")
+	}
+}
+
+func TestUnblockWithoutBlockPanics(t *testing.T) {
+	c := New(0, DefaultConfig(), &fakePort{eng: sim.New()}, stream(1, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unblock without Block did not panic")
+		}
+	}()
+	c.Unblock()
+}
+
+func TestROBBoundsInFlightInstructions(t *testing.T) {
+	eng := sim.New()
+	// ROB 16, loads never complete quickly: insertSeq-retireSeq <= 16.
+	c, _ := newCore(eng, Config{Width: 4, ROBSize: 16, MaxLoads: 16}, stream(0, 0), 100000)
+	eng.Run(1000)
+	if occ := c.insertSeq - c.retireSeq; occ > 16 {
+		t.Fatalf("ROB occupancy %d exceeds size 16", occ)
+	}
+	if c.Stats().Instructions != 0 {
+		t.Fatal("retired past an incomplete load")
+	}
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	eng := sim.New()
+	c, p := newCore(eng, Config{Width: 4, ROBSize: 128, MaxLoads: 8}, stream(9, 0), 5)
+	eng.Run(20000)
+	s := c.Stats()
+	// Each op is 9 gap instructions + 1 load: loads ~= instructions/10.
+	ratio := float64(s.Instructions) / float64(p.loads)
+	if ratio < 9 || ratio > 11.5 {
+		t.Fatalf("instructions per load = %.2f, want ~10", ratio)
+	}
+	if s.Cycles != 20000 {
+		t.Fatalf("cycles = %d", s.Cycles)
+	}
+}

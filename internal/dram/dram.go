@@ -1,0 +1,350 @@
+// Package dram models DRAM devices (on-package HBM and off-package DDR4) at
+// the level the NOMAD paper exercises: channels, banks, row buffers, and a
+// shared per-channel data bus. Timing is expressed in CPU cycles.
+//
+// The model captures:
+//
+//   - Row-buffer locality: row hits cost tCL, row misses tRCD+tCL, and row
+//     conflicts tRP+tRCD+tCL before the data burst.
+//   - Bus occupancy: each 64 B burst occupies the channel data bus for TBL
+//     cycles, so sustained bandwidth is 64 B / TBL per channel. Metadata,
+//     fill, and writeback traffic all compete for the same bus, which is how
+//     the TiD scheme's metadata overhead and the OS schemes' page-copy
+//     traffic show up as longer effective access times (Figs. 9 and 10).
+//   - Bank parallelism: activations to distinct banks overlap; only data
+//     bursts serialize on the bus.
+//   - Critical-data-first scheduling: requests flagged Priority are selected
+//     ahead of others (used by TiD MSHRs and the NOMAD back-end).
+//
+// Refresh and power states are not modeled; the paper's effects do not
+// depend on them.
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nomad/internal/mem"
+	"nomad/internal/sim"
+)
+
+// Timing holds device timing parameters in CPU cycles.
+type Timing struct {
+	TRCD uint64 // activate -> column command
+	TRP  uint64 // precharge
+	TCL  uint64 // column command -> first data beat
+	TBL  uint64 // data-bus occupancy of one 64 B burst
+}
+
+// Config describes one DRAM device (a set of channels with identical
+// geometry).
+type Config struct {
+	Name     string
+	Channels int
+	Banks    int // banks per channel
+	RowBytes uint64
+	Timing   Timing
+	// InflightPerChannel bounds how many requests a channel scheduler has
+	// issued but not completed; it approximates the command-queue depth
+	// visible to FR-FCFS reordering.
+	InflightPerChannel int
+}
+
+// HBMConfig returns the on-package DRAM configuration used throughout the
+// evaluation: 8 channels x 16 banks, ~16 GB/s per channel (128 GB/s total) at
+// a 3.2 GHz CPU clock.
+func HBMConfig() Config {
+	return Config{
+		Name:               "HBM",
+		Channels:           8,
+		Banks:              16,
+		RowBytes:           2048,
+		Timing:             Timing{TRCD: 45, TRP: 45, TCL: 45, TBL: 13},
+		InflightPerChannel: 16,
+	}
+}
+
+// DDRConfig returns the off-package memory configuration: 2 channels x 16
+// banks, ~12.8 GB/s per channel (25.6 GB/s total). The total is deliberately
+// sized so the Excess-class workloads' required miss-handling bandwidth
+// exceeds it, the Tight class saturates it, and the Loose class half-fills
+// it, matching Table I / Fig. 2.
+func DDRConfig() Config {
+	return Config{
+		Name:               "DDR4",
+		Channels:           2,
+		Banks:              16,
+		RowBytes:           4096,
+		Timing:             Timing{TRCD: 45, TRP: 45, TCL: 45, TBL: 16},
+		InflightPerChannel: 16,
+	}
+}
+
+// Stats accumulates device-wide counters.
+type Stats struct {
+	Reads  uint64
+	Writes uint64
+	// BytesByKind records data-bus bytes per traffic category (Fig. 10).
+	BytesByKind  [mem.NumKinds]uint64
+	RowHits      uint64
+	RowMisses    uint64 // closed-row activations
+	RowConflicts uint64
+	// BusBusyCycles is the total number of cycles any channel's data bus
+	// was transferring data (sum over channels).
+	BusBusyCycles uint64
+	// ReadLatencySum/ReadCount measure arrival-to-data latency of reads.
+	ReadLatencySum uint64
+	ReadCount      uint64
+	// QueueFullRejects counts requests that found the channel queue full
+	// and were retried by the caller.
+	QueueFullRejects uint64
+}
+
+// RowHitRate returns the fraction of bursts that hit an open row.
+func (s *Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// TotalBytes returns all data-bus bytes moved.
+func (s *Stats) TotalBytes() uint64 {
+	var t uint64
+	for _, b := range s.BytesByKind {
+		t += b
+	}
+	return t
+}
+
+type request struct {
+	addr     uint64
+	write    bool
+	kind     mem.Kind
+	priority bool
+	arrival  uint64
+	done     mem.Done
+	bank     int
+	row      uint64
+}
+
+type bank struct {
+	openRow int64 // -1 = closed
+	readyAt uint64
+}
+
+type channel struct {
+	queue     []*request
+	busFreeAt uint64
+	inflight  int
+	banks     []bank
+}
+
+// Device is one DRAM device instance bound to a simulation engine. It
+// registers itself as a ticker; callers enqueue requests with Access.
+type Device struct {
+	cfg   Config
+	eng   *sim.Engine
+	chans []channel
+	stats Stats
+
+	chanShift    uint
+	chanMask     uint64
+	blocksPerRow uint64
+	maxQueue     int
+}
+
+// New creates a Device and registers its scheduler with the engine.
+func New(eng *sim.Engine, cfg Config) *Device {
+	if cfg.Channels <= 0 || cfg.Banks <= 0 {
+		panic("dram: channels and banks must be positive")
+	}
+	if cfg.Channels&(cfg.Channels-1) != 0 {
+		panic("dram: channel count must be a power of two")
+	}
+	d := &Device{
+		cfg:          cfg,
+		eng:          eng,
+		chans:        make([]channel, cfg.Channels),
+		chanShift:    uint(bits.TrailingZeros(uint(cfg.Channels))),
+		chanMask:     uint64(cfg.Channels - 1),
+		blocksPerRow: cfg.RowBytes / mem.BlockSize,
+		maxQueue:     64,
+	}
+	for i := range d.chans {
+		d.chans[i].banks = make([]bank, cfg.Banks)
+		for b := range d.chans[i].banks {
+			d.chans[i].banks[b].openRow = -1
+		}
+	}
+	eng.AddTicker(d)
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a pointer to the device's counters.
+func (d *Device) Stats() *Stats { return &d.stats }
+
+// ChannelOf returns the channel index a byte address maps to. Blocks
+// interleave across channels so a 4 KB page spreads over all channels.
+func (d *Device) ChannelOf(addr uint64) int {
+	return int(mem.BlockNum(addr) & d.chanMask)
+}
+
+// mapAddr computes (channel, bank, row) for a byte address. Channel-local
+// consecutive blocks share a row, and consecutive rows rotate across banks.
+func (d *Device) mapAddr(addr uint64) (ch, bk int, row uint64) {
+	blk := mem.BlockNum(addr)
+	ch = int(blk & d.chanMask)
+	local := blk >> d.chanShift
+	rowGlobal := local / d.blocksPerRow
+	bk = int(rowGlobal % uint64(d.cfg.Banks))
+	row = rowGlobal / uint64(d.cfg.Banks)
+	return ch, bk, row
+}
+
+// Access enqueues one 64 B burst. done is invoked when the data burst
+// completes (reads: data available; writes: data accepted). Access never
+// rejects: if the channel queue is full the request is parked and retried,
+// preserving FIFO fairness, so callers can treat the device as always
+// accepting (back-pressure manifests as latency).
+func (d *Device) Access(addr uint64, write bool, kind mem.Kind, priority bool, done mem.Done) {
+	ch, bk, row := d.mapAddr(addr)
+	r := &request{
+		addr: addr, write: write, kind: kind, priority: priority,
+		arrival: d.eng.Now(), done: done, bank: bk, row: row,
+	}
+	c := &d.chans[ch]
+	if len(c.queue) >= d.maxQueue {
+		d.stats.QueueFullRejects++
+	}
+	c.queue = append(c.queue, r)
+}
+
+// QueueLen returns the current queue length of channel ch (for tests and
+// back-pressure-aware callers).
+func (d *Device) QueueLen(ch int) int { return len(d.chans[ch].queue) }
+
+// Promote raises a queued request for the given 64 B block to the priority
+// class (critical-data-first for a demand that arrived after the request was
+// issued, e.g. an MSHR/PCSHR coalesce on an in-flight line fill). It reports
+// whether a queued request matched; a false return usually means the request
+// already left the queue.
+func (d *Device) Promote(addr uint64) bool {
+	ch, _, _ := d.mapAddr(addr)
+	block := mem.BlockAligned(addr)
+	for _, r := range d.chans[ch].queue {
+		if mem.BlockAligned(r.addr) == block && !r.priority {
+			r.priority = true
+			return true
+		}
+	}
+	return false
+}
+
+// Tick drives every channel scheduler one cycle.
+func (d *Device) Tick(now uint64) {
+	for i := range d.chans {
+		d.tickChannel(&d.chans[i], now)
+	}
+}
+
+func (d *Device) tickChannel(c *channel, now uint64) {
+	for c.inflight < d.cfg.InflightPerChannel && len(c.queue) > 0 {
+		idx := d.pick(c)
+		r := c.queue[idx]
+		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+		d.issue(c, r, now)
+	}
+}
+
+// pick implements priority > row-hit > age selection (FR-FCFS with
+// critical-data-first), scanning the bounded channel queue.
+func (d *Device) pick(c *channel) int {
+	best := 0
+	bestScore := d.score(c, c.queue[0])
+	for i := 1; i < len(c.queue); i++ {
+		if s := d.score(c, c.queue[i]); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+func (d *Device) score(c *channel, r *request) int {
+	s := 0
+	if r.priority {
+		s += 4
+	}
+	if c.banks[r.bank].openRow == int64(r.row) {
+		s += 2
+	}
+	return s
+}
+
+// issue computes the request's timing against bank and bus state, reserves
+// the bus window, and schedules the completion callback.
+func (d *Device) issue(c *channel, r *request, now uint64) {
+	b := &c.banks[r.bank]
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+	var rowReady uint64
+	switch {
+	case b.openRow == int64(r.row):
+		d.stats.RowHits++
+		rowReady = start
+	case b.openRow == -1:
+		d.stats.RowMisses++
+		rowReady = start + d.cfg.Timing.TRCD
+	default:
+		d.stats.RowConflicts++
+		rowReady = start + d.cfg.Timing.TRP + d.cfg.Timing.TRCD
+	}
+	b.openRow = int64(r.row)
+
+	dataStart := rowReady + d.cfg.Timing.TCL
+	if c.busFreeAt > dataStart {
+		dataStart = c.busFreeAt
+	}
+	dataEnd := dataStart + d.cfg.Timing.TBL
+	c.busFreeAt = dataEnd
+	// The bank can accept the next column command to the same row once
+	// this one's data slot is reserved.
+	b.readyAt = rowReady + d.cfg.Timing.TBL
+
+	d.stats.BusBusyCycles += d.cfg.Timing.TBL
+	d.stats.BytesByKind[r.kind] += mem.BlockSize
+	if r.write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+		d.stats.ReadLatencySum += dataEnd - r.arrival
+		d.stats.ReadCount++
+	}
+
+	c.inflight++
+	done := r.done
+	d.eng.At(dataEnd, func() {
+		c.inflight--
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// PeakBandwidthBytesPerCycle returns the device's aggregate data-bus
+// bandwidth (bytes per CPU cycle), used to convert measured byte counts into
+// utilization and GB/s.
+func (d *Device) PeakBandwidthBytesPerCycle() float64 {
+	return float64(d.cfg.Channels) * float64(mem.BlockSize) / float64(d.cfg.Timing.TBL)
+}
+
+// String identifies the device.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s(%dch x %dbk)", d.cfg.Name, d.cfg.Channels, d.cfg.Banks)
+}

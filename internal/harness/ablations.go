@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"nomad/internal/system"
+	"nomad/internal/workload"
+)
+
+// The ablation experiment is not a paper figure; it quantifies the design
+// choices the paper argues for qualitatively:
+//
+//   - §IV-B.5: even a full CPU cycle of PCSHR data-verification latency on
+//     every DC access costs only ~0.1% performance;
+//   - §III-D.2 / Fig. 7b: critical-data-first scheduling is what makes the
+//     faulting request hit the page copy buffer after resume;
+//   - §IV-A: the 400-cycle conservative tag-management estimate — how
+//     sensitive is NOMAD to the OS handler's cost?
+func init() {
+	register(Experiment{
+		ID:    "ablations",
+		Title: "Ablations: data-verification latency, critical-data-first, tag-handler cost",
+		Run:   runAblations,
+	})
+}
+
+var ablationWorkloads = []string{"cact", "libq", "pr"}
+
+func runAblations(opts Options, w io.Writer) error {
+	var runs []Run
+	for _, abbr := range ablationWorkloads {
+		sp, ok := workload.ByAbbr(abbr)
+		if !ok {
+			return fmt.Errorf("ablations: unknown workload %q", abbr)
+		}
+		// A: verification latency sweep.
+		for _, v := range []uint64{0, 1, 5, 20} {
+			cfg := opts.BaseConfig()
+			cfg.Scheme = system.SchemeNOMAD
+			cfg.Backend.VerifyLatency = v
+			runs = append(runs, Run{Key: key(abbr, "verify", v), Cfg: cfg, Spec: sp})
+		}
+		// B: critical-data-first off.
+		cfg := opts.BaseConfig()
+		cfg.Scheme = system.SchemeNOMAD
+		cfg.Backend.NoCriticalFirst = true
+		runs = append(runs, Run{Key: key(abbr, "nocdf"), Cfg: cfg, Spec: sp})
+		// C: tag-management latency sweep.
+		for _, lat := range []uint64{100, 400, 800, 1600} {
+			cfg := opts.BaseConfig()
+			cfg.Scheme = system.SchemeNOMAD
+			cfg.Frontend.TagMgmtLatency = lat
+			runs = append(runs, Run{Key: key(abbr, "taglat", lat), Cfg: cfg, Spec: sp})
+		}
+	}
+	res, err := Execute(opts, w, runs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "A. PCSHR data-verification latency added to every DC access (IPC relative to")
+	fmt.Fprintln(w, "   0 cycles). Paper: one full cycle costs ~0.1% on average.")
+	fmt.Fprintln(w)
+	t := newTable("Workload", "0cyc", "1cyc", "5cyc", "20cyc")
+	for _, abbr := range ablationWorkloads {
+		base := res[key(abbr, "verify", uint64(0))].IPC
+		t.addf(abbr, 1.0,
+			res[key(abbr, "verify", uint64(1))].IPC/base,
+			res[key(abbr, "verify", uint64(5))].IPC/base,
+			res[key(abbr, "verify", uint64(20))].IPC/base)
+	}
+	t.write(w)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "B. Critical-data-first scheduling (P/PI + demand elevation) on vs off.")
+	fmt.Fprintln(w)
+	t2 := newTable("Workload", "IPC on", "IPC off", "bufHit% on", "bufHit% off")
+	for _, abbr := range ablationWorkloads {
+		on := res[key(abbr, "verify", uint64(0))]
+		off := res[key(abbr, "nocdf")]
+		t2.addf(abbr, on.IPC, off.IPC, 100*on.BufferHitRate, 100*off.BufferHitRate)
+	}
+	t2.write(w)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "C. Tag miss handler critical-section cost (the paper conservatively uses 400).")
+	fmt.Fprintln(w)
+	t3 := newTable("Workload", "Metric", "100", "400", "800", "1600")
+	for _, abbr := range ablationWorkloads {
+		ipc := []interface{}{abbr, "IPC"}
+		stall := []interface{}{abbr, "stall %"}
+		for _, lat := range []uint64{100, 400, 800, 1600} {
+			r := res[key(abbr, "taglat", lat)]
+			ipc = append(ipc, r.IPC)
+			stall = append(stall, 100*r.OSStallRatio)
+		}
+		t3.addf(ipc...)
+		t3.addf(stall...)
+	}
+	t3.write(w)
+	return nil
+}

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"nomad/internal/workload"
+)
+
+// fig2Workloads are the six high-MPMS benchmarks of Fig. 2 (les excluded
+// per §II-C), ordered by descending RMHB.
+var fig2Workloads = []string{"cact", "sssp", "bwav", "mcf", "bc", "pr"}
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Fig. 2: IPC of blocking OS-managed (TDC) relative to HW-based (TiD) vs required miss-handling bandwidth",
+		Run:   runFig2,
+	})
+}
+
+func runFig2(opts Options, w io.Writer) error {
+	var runs []Run
+	for _, abbr := range fig2Workloads {
+		sp, ok := workload.ByAbbr(abbr)
+		if !ok {
+			return fmt.Errorf("fig2: unknown workload %q", abbr)
+		}
+		for _, scheme := range []string{"TDC", "TiD", "Ideal"} {
+			cfg := opts.BaseConfig()
+			cfg.Scheme = systemScheme(scheme)
+			runs = append(runs, Run{Key: key(abbr, scheme), Cfg: cfg, Spec: sp})
+		}
+	}
+	res, err := Execute(opts, w, runs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Fig. 2: the blocking OS-managed scheme wins at low RMHB (ideal access time),")
+	fmt.Fprintln(w, "loses at high RMHB (miss-handling stalls). RMHB measured under Ideal config.")
+	fmt.Fprintln(w, "Paper shape: TDC/TiD < 1 for cact/sssp/bwav, > 1 for mcf/bc/pr.")
+	fmt.Fprintln(w)
+	t := newTable("Workload", "Class", "RMHB GB/s", "IPC TDC/TiD", "Paper trend")
+	for _, abbr := range fig2Workloads {
+		sp, _ := workload.ByAbbr(abbr)
+		ratio := res[key(abbr, "TDC")].IPC / res[key(abbr, "TiD")].IPC
+		trend := "TiD wins (<1)"
+		if sp.Class == "Loose" || sp.Class == "Few" {
+			trend = "TDC wins (>1)"
+		}
+		t.addf(abbr, sp.Class, res[key(abbr, "Ideal")].RMHBGBs, ratio, trend)
+	}
+	t.write(w)
+	return nil
+}

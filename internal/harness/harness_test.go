@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nomad/internal/system"
+	"nomad/internal/workload"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations", "replacement", "selective"}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := Get("fig99"); ok {
+		t.Error("found nonexistent experiment")
+	}
+}
+
+func TestAllStableOrder(t *testing.T) {
+	a, b := All(), All()
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("All() order is not stable")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := newTable("A", "BB")
+	tb.addf("x", 1.5)
+	tb.add("longer", "y")
+	var buf bytes.Buffer
+	tb.write(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "A") || !strings.Contains(lines[0], "BB") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.50") {
+		t.Fatalf("float not formatted: %q", lines[2])
+	}
+}
+
+func TestKey(t *testing.T) {
+	if got := key("a", 1, true); got != "a/1/true" {
+		t.Fatalf("key = %q", got)
+	}
+}
+
+func TestExecuteParallelDeterminism(t *testing.T) {
+	// The same run executed twice (even concurrently) must give identical
+	// results: the public determinism guarantee the harness relies on.
+	sp, _ := workload.ByAbbr("tc")
+	cfg := system.DefaultConfig()
+	cfg.Cores = 2
+	cfg.Scheme = system.SchemeNOMAD
+	cfg.CacheFrames = 4096
+	cfg.WarmupInstructions = 30_000
+	cfg.ROIInstructions = 60_000
+	runs := []Run{
+		{Key: "a", Cfg: cfg, Spec: sp},
+		{Key: "b", Cfg: cfg, Spec: sp},
+	}
+	var buf bytes.Buffer
+	res, err := Execute(Options{Parallelism: 2}, &buf, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res["a"], res["b"]
+	if a.IPC != b.IPC || a.Cycles != b.Cycles || a.TagMisses != b.TagMisses {
+		t.Fatalf("identical runs diverged:\n%v\n%v", a, b)
+	}
+}
+
+func TestExecuteReportsErrors(t *testing.T) {
+	cfg := system.DefaultConfig()
+	cfg.Scheme = "NoSuchScheme"
+	sp, _ := workload.ByAbbr("tc")
+	var buf bytes.Buffer
+	_, err := Execute(Options{}, &buf, []Run{{Key: "bad", Cfg: cfg, Spec: sp}})
+	if err == nil {
+		t.Fatal("invalid scheme did not error")
+	}
+}
+
+func TestOptionsBaseConfig(t *testing.T) {
+	slow := Options{}.BaseConfig()
+	fast := Options{Fast: true}.BaseConfig()
+	if fast.ROIInstructions >= slow.ROIInstructions {
+		t.Fatal("fast mode did not shrink the ROI")
+	}
+	if (Options{}).workers() < 1 {
+		t.Fatal("workers < 1")
+	}
+	if (Options{Parallelism: 3}).workers() != 3 {
+		t.Fatal("explicit parallelism ignored")
+	}
+}

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"nomad/internal/mem"
+	"nomad/internal/replacement"
+	"nomad/internal/workload"
+)
+
+// The replacement study examines the claim of §III-C.2: "the
+// fully-associative nature of the OS-managed design combined with the FIFO
+// replacement policy exhibits about 23% less DC misses on average than a
+// 16-way set-associative HW-based DRAM cache using an LRU policy" — the
+// argument for why NOMAD's simple FIFO free queue is not a compromise.
+//
+// Part A sweeps working-set-to-capacity ratios with a skewed page-reuse
+// trace (medium reuse distances are where associativity matters: full
+// associativity eliminates conflict misses exactly when the working set is
+// near capacity). Part B replays the Table I surrogates; their reuse is
+// deliberately bimodal (DC-resident warm sets + one-sweep streams), so all
+// policies converge there — an honest limitation of the synthetic traces,
+// noted in EXPERIMENTS.md.
+func init() {
+	register(Experiment{
+		ID:    "replacement",
+		Title: "Replacement study (§III-C.2): FIFO fully-associative vs 16-way SA-LRU DC misses",
+		Run:   runReplacement,
+	})
+}
+
+func runReplacement(opts Options, w io.Writer) error {
+	const capacity = 32768 // pages: the 128 MB scaled DC
+	visits := 8 * capacity
+	if opts.Fast {
+		visits = 3 * capacity
+	}
+
+	fmt.Fprintln(w, "A. Array traversals with power-of-two strides (column walks over grids with")
+	fmt.Fprintln(w, "power-of-two leading dimensions, as in stencil/HPC codes): strided pages alias")
+	fmt.Fprintln(w, "into few sets, so the set-associative cache takes conflict misses the fully")
+	fmt.Fprintln(w, "associative FIFO design cannot have. The sweep varies the strided fraction.")
+	fmt.Fprintln(w)
+	t := newTable("Strided fraction", "FIFO-FA%", "SA-LRU16%", "LRU-FA%", "FIFO/SA-LRU")
+	var sumRel float64
+	fractions := []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	sets := uint64(capacity / 16)
+	for _, frac := range fractions {
+		// Working set = 0.9x capacity: fits fully associative caches,
+		// stresses aliased sets.
+		pages := uint64(capacity) * 9 / 10
+		aliased := uint64(float64(pages) * frac)
+		fifo := replacement.NewFIFO(capacity)
+		sa := replacement.NewSetAssocLRU(capacity, 16)
+		lru := replacement.NewLRUFA(capacity)
+		rng := rand.New(rand.NewSource(42))
+		// The aliased portion is spread over a few column residues;
+		// the rest is uniform.
+		residues := uint64(32)
+		for i := 0; i < visits; i++ {
+			var pg uint64
+			if aliased > 0 && rng.Float64() < frac {
+				// Column walk: fixed residue mod sets.
+				col := uint64(rng.Int63n(int64(residues)))
+				row := uint64(rng.Int63n(int64(aliased/residues + 1)))
+				pg = 1<<41 | col | row*sets
+			} else {
+				pg = uint64(rng.Int63n(int64(pages - aliased + 1)))
+			}
+			fifo.Access(pg)
+			sa.Access(pg)
+			lru.Access(pg)
+		}
+		rel := replacement.MissRate(fifo) / replacement.MissRate(sa)
+		sumRel += rel
+		t.addf(fmt.Sprintf("%.2f", frac),
+			100*replacement.MissRate(fifo),
+			100*replacement.MissRate(sa),
+			100*replacement.MissRate(lru),
+			rel)
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\nAverage FIFO-FA / SA-LRU16 miss ratio over the sweep: %.2f (paper's benchmark\naverage: ~0.77, i.e. 23%% fewer misses).\n", sumRel/float64(len(fractions)))
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "B. Table I surrogates (reuse is bimodal by construction: resident warm sets +")
+	fmt.Fprintln(w, "one-sweep streams, so policies converge; see EXPERIMENTS.md).")
+	fmt.Fprintln(w)
+	t2 := newTable("Class", "Workload", "FIFO-FA%", "SA-LRU16%", "FIFO/SA-LRU")
+	const cores = 8
+	for _, sp := range workload.Specs() {
+		fifo := replacement.NewFIFO(capacity)
+		sa := replacement.NewSetAssocLRU(capacity, 16)
+		streams := make([]*workload.Stream, cores)
+		last := make([]uint64, cores)
+		for c := range streams {
+			streams[c] = workload.NewStream(sp, uint64(c)*7919+1)
+			last[c] = ^uint64(0)
+		}
+		for i := 0; i < visits; {
+			c := i % cores
+			page := mem.PageNum(streams[c].Next().Addr)<<4 | uint64(c)
+			if page == last[c] {
+				continue
+			}
+			last[c] = page
+			fifo.Access(page)
+			sa.Access(page)
+			i++
+		}
+		t2.addf(sp.Class, sp.Abbr,
+			100*replacement.MissRate(fifo),
+			100*replacement.MissRate(sa),
+			replacement.MissRate(fifo)/replacement.MissRate(sa))
+	}
+	t2.write(w)
+	return nil
+}

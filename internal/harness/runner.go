@@ -1,0 +1,146 @@
+// Package harness reproduces every table and figure of the paper's
+// evaluation. Each experiment is registered under the paper's artifact name
+// (table1, fig2, fig9..fig16) and prints a text rendering of the same rows
+// or series the paper plots.
+//
+// Runs are deterministic; independent runs execute in parallel across OS
+// threads (each simulation is single-threaded and self-contained).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"nomad/internal/system"
+	"nomad/internal/workload"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Fast shrinks warmup/ROI for quick smoke runs (benchmarks, CI); the
+	// shapes survive, the precision drops.
+	Fast bool
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Verbose prints each run's one-line summary as it completes.
+	Verbose bool
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// BaseConfig returns the evaluation configuration, scaled down when fast.
+func (o Options) BaseConfig() system.Config {
+	cfg := system.DefaultConfig()
+	if o.Fast {
+		cfg.WarmupInstructions = 300_000
+		cfg.ROIInstructions = 400_000
+	}
+	return cfg
+}
+
+// Run is one simulation request.
+type Run struct {
+	Key  string // unique identifier within the batch
+	Cfg  system.Config
+	Spec workload.Spec
+}
+
+// Results maps Run.Key to the outcome.
+type Results map[string]*system.Result
+
+// Execute runs the batch in parallel and returns results by key. The first
+// error aborts the batch.
+func Execute(opts Options, out io.Writer, runs []Run) (Results, error) {
+	type outcome struct {
+		key string
+		res *system.Result
+		err error
+	}
+	sem := make(chan struct{}, opts.workers())
+	ch := make(chan outcome, len(runs))
+	var wg sync.WaitGroup
+	for _, r := range runs {
+		wg.Add(1)
+		go func(r Run) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, err := system.New(r.Cfg, r.Spec)
+			if err != nil {
+				ch <- outcome{key: r.Key, err: err}
+				return
+			}
+			res, err := m.Run()
+			ch <- outcome{key: r.Key, res: res, err: err}
+		}(r)
+	}
+	wg.Wait()
+	close(ch)
+	results := make(Results, len(runs))
+	var errs []outcome
+	for o := range ch {
+		if o.err != nil {
+			errs = append(errs, o)
+			continue
+		}
+		results[o.key] = o.res
+		if opts.Verbose {
+			fmt.Fprintf(out, "# %s: %s\n", o.key, o.res)
+		}
+	}
+	if len(errs) > 0 {
+		return results, fmt.Errorf("harness: run %q failed: %w", errs[0].key, errs[0].err)
+	}
+	return results, nil
+}
+
+// key builds a batch key from parts.
+func key(parts ...interface{}) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += "/"
+		}
+		s += fmt.Sprint(p)
+	}
+	return s
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opts Options, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment in a stable order.
+func All() []Experiment {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Experiment, len(ids))
+	for i, id := range ids {
+		out[i] = registry[id]
+	}
+	return out
+}

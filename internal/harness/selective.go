@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"nomad/internal/system"
+	"nomad/internal/workload"
+)
+
+// The selective-caching study exercises the flexibility argument of §V:
+// unlike HW-based designs whose selective caching is baked into the
+// controller, an OS-managed cache can adopt any page-placement policy in
+// software. Here NOMAD's front-end caches a page only on its Nth uncached
+// page-table walk, which filters single-sweep streaming pages out of the
+// cache and saves fill bandwidth on low-locality workloads.
+func init() {
+	register(Experiment{
+		ID:    "selective",
+		Title: "Selective caching (§V): cache-on-Nth-touch policy on low-locality workloads",
+		Run:   runSelective,
+	})
+}
+
+var selectiveWorkloads = []string{"sssp", "bfs", "bc", "pr"}
+
+func runSelective(opts Options, w io.Writer) error {
+	thresholds := []uint64{1, 2, 3}
+	var runs []Run
+	for _, abbr := range selectiveWorkloads {
+		sp, ok := workload.ByAbbr(abbr)
+		if !ok {
+			return fmt.Errorf("selective: unknown workload %q", abbr)
+		}
+		for _, th := range thresholds {
+			cfg := opts.BaseConfig()
+			cfg.Scheme = system.SchemeNOMAD
+			cfg.Frontend.CacheTouchThreshold = th
+			runs = append(runs, Run{Key: key(abbr, th), Cfg: cfg, Spec: sp})
+		}
+	}
+	res, err := Execute(opts, w, runs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "NOMAD with cache-on-Nth-walk selective caching. N>=2 eliminates nearly all")
+	fmt.Fprintln(w, "fill bandwidth and miss-handling stalls (streaming pages are walked once per")
+	fmt.Fprintln(w, "sweep), but it also forfeits the DC for TLB-resident reuse: hot pages never")
+	fmt.Fprintln(w, "re-walk, so they never pass the filter. The mechanism plugs into the NOMAD")
+	fmt.Fprintln(w, "front-end with ~20 lines of OS code — the paper's flexibility argument — while")
+	fmt.Fprintln(w, "the results show why production policies need hotness signals beyond walk")
+	fmt.Fprintln(w, "counts (cf. Thermostat, Kleio).")
+	fmt.Fprintln(w)
+	t := newTable("Workload", "Metric", "N=1", "N=2", "N=3")
+	for _, abbr := range selectiveWorkloads {
+		ipc := []interface{}{abbr, "IPC"}
+		fill := []interface{}{abbr, "fill GB/s"}
+		stall := []interface{}{abbr, "stall %"}
+		for _, th := range thresholds {
+			r := res[key(abbr, th)]
+			ipc = append(ipc, r.IPC)
+			fill = append(fill, r.RMHBGBs)
+			stall = append(stall, 100*r.OSStallRatio)
+		}
+		t.addf(ipc...)
+		t.addf(fill...)
+		t.addf(stall...)
+	}
+	t.write(w)
+	return nil
+}

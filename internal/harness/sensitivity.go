@@ -1,0 +1,272 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"nomad/internal/system"
+	"nomad/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Fig. 12: per-class average IPC and off-package bandwidth vs number of PCSHRs",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Fig. 13: Excess-class IPC vs PCSHRs for increasing CPU core count (normalized to 32 PCSHRs)",
+		Run:   runFig13,
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Fig. 14: stall rate and tag management latency vs PCSHRs (cact: highest RMHB; libq: bursty RMHB)",
+		Run:   runFig14,
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Fig. 15: area-optimized design — (n PCSHRs, m page copy buffers) for bursty workloads",
+		Run:   runFig15,
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Fig. 16: centralized vs distributed back-ends vs number of PCSHRs",
+		Run:   runFig16,
+	})
+}
+
+var pcshrSweep = []int{1, 2, 4, 8, 16, 32}
+
+func runFig12(opts Options, w io.Writer) error {
+	var runs []Run
+	for _, sp := range workload.Specs() {
+		base := opts.BaseConfig()
+		base.Scheme = system.SchemeBaseline
+		runs = append(runs, Run{Key: key(sp.Abbr, "base"), Cfg: base, Spec: sp})
+		for _, n := range pcshrSweep {
+			cfg := opts.BaseConfig()
+			cfg.Scheme = system.SchemeNOMAD
+			cfg.Backend.PCSHRs = n
+			runs = append(runs, Run{Key: key(sp.Abbr, n), Cfg: cfg, Spec: sp})
+		}
+	}
+	res, err := Execute(opts, w, runs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Fig. 12: NOMAD per-class average IPC (relative to Baseline) and off-package")
+	fmt.Fprintln(w, "bandwidth vs #PCSHRs. Paper shape: performance saturates by ~8 PCSHRs for the")
+	fmt.Fprintln(w, "Excess class (off-package bandwidth becomes the bottleneck); Loose/Few need 1-2.")
+	fmt.Fprintln(w)
+	t := newTable("Class", "Metric", "1", "2", "4", "8", "16", "32")
+	for _, class := range workload.Classes() {
+		specs := workload.ByClass(class)
+		ipcRow := []interface{}{class, "IPC rel base"}
+		bwRow := []interface{}{class, "off-pkg GB/s"}
+		for _, n := range pcshrSweep {
+			prod := 1.0
+			bw := 0.0
+			for _, sp := range specs {
+				prod *= res[key(sp.Abbr, n)].IPC / res[key(sp.Abbr, "base")].IPC
+				bw += res[key(sp.Abbr, n)].OffPkgGBs
+			}
+			ipcRow = append(ipcRow, geo(prod, 1/float64(len(specs))))
+			bwRow = append(bwRow, bw/float64(len(specs)))
+		}
+		t.addf(ipcRow...)
+		t.addf(bwRow...)
+	}
+	t.write(w)
+	return nil
+}
+
+var fig13Cores = []int{2, 4, 8, 16}
+var fig13PCSHRs = []int{2, 4, 8, 16, 32}
+
+func runFig13(opts Options, w io.Writer) error {
+	specs := workload.ByClass("Excess")
+	var runs []Run
+	for _, cores := range fig13Cores {
+		for _, n := range fig13PCSHRs {
+			for _, sp := range specs {
+				cfg := opts.BaseConfig()
+				cfg.Scheme = system.SchemeNOMAD
+				cfg.Cores = cores
+				cfg.Backend.PCSHRs = n
+				runs = append(runs, Run{Key: key(sp.Abbr, cores, n), Cfg: cfg, Spec: sp})
+			}
+		}
+	}
+	res, err := Execute(opts, w, runs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Fig. 13: Excess-class average IPC with different PCSHR counts, relative to the")
+	fmt.Fprintln(w, "32-PCSHR setup, for increasing core counts. Paper shape: beyond 8 PCSHRs the")
+	fmt.Fprintln(w, "off-package memory bounds performance, so more cores do not need more PCSHRs.")
+	fmt.Fprintln(w)
+	t := newTable("Cores", "2", "4", "8", "16", "32")
+	for _, cores := range fig13Cores {
+		row := []interface{}{fmt.Sprintf("%d", cores)}
+		ref := 1.0
+		{
+			prod := 1.0
+			for _, sp := range specs {
+				prod *= res[key(sp.Abbr, cores, 32)].IPC
+			}
+			ref = geo(prod, 1/float64(len(specs)))
+		}
+		for _, n := range fig13PCSHRs {
+			prod := 1.0
+			for _, sp := range specs {
+				prod *= res[key(sp.Abbr, cores, n)].IPC
+			}
+			row = append(row, geo(prod, 1/float64(len(specs)))/ref)
+		}
+		t.addf(row...)
+	}
+	t.write(w)
+	return nil
+}
+
+func runFig14(opts Options, w io.Writer) error {
+	wls := []string{"cact", "libq"}
+	var runs []Run
+	for _, abbr := range wls {
+		sp, _ := workload.ByAbbr(abbr)
+		for _, n := range pcshrSweep {
+			cfg := opts.BaseConfig()
+			cfg.Scheme = system.SchemeNOMAD
+			cfg.Backend.PCSHRs = n
+			runs = append(runs, Run{Key: key(abbr, n), Cfg: cfg, Spec: sp})
+		}
+	}
+	res, err := Execute(opts, w, runs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Fig. 14: stall rates and tag management latency vs #PCSHRs for cact (highest")
+	fmt.Fprintln(w, "RMHB) and libq (bursty RMHB). Paper shape: the bursty workload suffers more")
+	fmt.Fprintln(w, "PCSHR contention; going 16->32 PCSHRs cuts libq tag latency markedly.")
+	fmt.Fprintln(w)
+	t := newTable("Workload", "Metric", "1", "2", "4", "8", "16", "32")
+	for _, abbr := range wls {
+		stall := []interface{}{abbr, "stall %"}
+		lat := []interface{}{abbr, "tagLat cyc"}
+		for _, n := range pcshrSweep {
+			r := res[key(abbr, n)]
+			stall = append(stall, 100*r.OSStallRatio)
+			lat = append(lat, r.AvgTagMgmtLatency)
+		}
+		t.addf(stall...)
+		t.addf(lat...)
+	}
+	t.write(w)
+	return nil
+}
+
+// fig15Configs are (n PCSHRs, m page copy buffers) pairs.
+var fig15Configs = [][2]int{{8, 8}, {16, 8}, {32, 8}, {16, 16}, {32, 16}, {32, 32}}
+
+func runFig15(opts Options, w io.Writer) error {
+	wls := []string{"libq", "gems"}
+	var runs []Run
+	for _, abbr := range wls {
+		sp, _ := workload.ByAbbr(abbr)
+		base := opts.BaseConfig()
+		base.Scheme = system.SchemeBaseline
+		runs = append(runs, Run{Key: key(abbr, "base"), Cfg: base, Spec: sp})
+		for _, nm := range fig15Configs {
+			cfg := opts.BaseConfig()
+			cfg.Scheme = system.SchemeNOMAD
+			cfg.Backend.PCSHRs = nm[0]
+			cfg.Backend.CopyBuffers = nm[1]
+			runs = append(runs, Run{Key: key(abbr, nm[0], nm[1]), Cfg: cfg, Spec: sp})
+		}
+	}
+	res, err := Execute(opts, w, runs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Fig. 15: area-optimized back-end — n PCSHRs with m (<n) page copy buffers.")
+	fmt.Fprintln(w, "Paper shape: bursty workloads want more PCSHRs (to absorb command bursts and")
+	fmt.Fprintln(w, "keep tag latency down) but buffers need not scale proportionally.")
+	fmt.Fprintln(w)
+	hdr := []string{"Workload", "Metric"}
+	for _, nm := range fig15Configs {
+		hdr = append(hdr, fmt.Sprintf("(%d,%d)", nm[0], nm[1]))
+	}
+	t := newTable(hdr...)
+	for _, abbr := range wls {
+		ipc := []interface{}{abbr, "IPC rel base"}
+		lat := []interface{}{abbr, "tagLat cyc"}
+		for _, nm := range fig15Configs {
+			r := res[key(abbr, nm[0], nm[1])]
+			ipc = append(ipc, r.IPC/res[key(abbr, "base")].IPC)
+			lat = append(lat, r.AvgTagMgmtLatency)
+		}
+		t.addf(ipc...)
+		t.addf(lat...)
+	}
+	t.write(w)
+	return nil
+}
+
+var fig16PCSHRs = []int{8, 16, 32}
+
+func runFig16(opts Options, w io.Writer) error {
+	specs := workload.ByClass("Excess")
+	var runs []Run
+	for _, sp := range specs {
+		base := opts.BaseConfig()
+		base.Scheme = system.SchemeBaseline
+		runs = append(runs, Run{Key: key(sp.Abbr, "base"), Cfg: base, Spec: sp})
+		for _, n := range fig16PCSHRs {
+			for _, dist := range []bool{false, true} {
+				cfg := opts.BaseConfig()
+				cfg.Scheme = system.SchemeNOMAD
+				cfg.Backend.PCSHRs = n
+				cfg.Backend.Distributed = dist
+				runs = append(runs, Run{Key: key(sp.Abbr, n, dist), Cfg: cfg, Spec: sp})
+			}
+		}
+	}
+	res, err := Execute(opts, w, runs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Fig. 16: centralized vs distributed back-ends (Excess class average). Paper")
+	fmt.Fprintln(w, "shape: FIFO allocation spreads page-copy commands uniformly, so the distributed")
+	fmt.Fprintln(w, "organization matches the centralized one.")
+	fmt.Fprintln(w)
+	t := newTable("Org", "Metric", "8", "16", "32")
+	for _, dist := range []bool{false, true} {
+		name := "centralized"
+		if dist {
+			name = "distributed"
+		}
+		ipc := []interface{}{name, "IPC rel base"}
+		lat := []interface{}{name, "tagLat cyc"}
+		for _, n := range fig16PCSHRs {
+			prod := 1.0
+			sum := 0.0
+			for _, sp := range specs {
+				r := res[key(sp.Abbr, n, dist)]
+				prod *= r.IPC / res[key(sp.Abbr, "base")].IPC
+				sum += r.AvgTagMgmtLatency
+			}
+			ipc = append(ipc, geo(prod, 1/float64(len(specs))))
+			lat = append(lat, sum/float64(len(specs)))
+		}
+		t.addf(ipc...)
+		t.addf(lat...)
+	}
+	t.write(w)
+	return nil
+}

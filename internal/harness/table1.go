@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"nomad/internal/workload"
+)
+
+// Paper-reported Table I values for side-by-side comparison.
+var paperTable1 = map[string][3]float64{ // abbr -> {RMHB GB/s, LLC MPMS, footprint GB}
+	"cact": {43.8, 486.6, 11.9},
+	"sssp": {38.8, 511.1, 2.3},
+	"bwav": {31.7, 588.1, 4.5},
+	"les":  {26.5, 532.8, 7.5},
+	"libq": {25.1, 210.6, 4.0},
+	"gems": {24.8, 269.2, 6.3},
+	"bfs":  {23.1, 298.5, 2.4},
+	"cc":   {13.5, 183.1, 2.3},
+	"lbm":  {12.4, 270.5, 3.2},
+	"mcf":  {12.2, 472.0, 2.8},
+	"bc":   {10.8, 533.7, 1.3},
+	"ast":  {6.9, 72.1, 1.0},
+	"pr":   {3.4, 691.9, 4.8},
+	"sop":  {1.7, 310.2, 1.2},
+	"tc":   {1.66, 226.3, 2.3},
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table I: workload characteristics under the ideal OS-managed configuration",
+		Run:   runTable1,
+	})
+}
+
+func runTable1(opts Options, w io.Writer) error {
+	specs := workload.Specs()
+	runs := make([]Run, 0, len(specs))
+	for _, sp := range specs {
+		cfg := opts.BaseConfig()
+		cfg.Scheme = "Ideal"
+		runs = append(runs, Run{Key: sp.Abbr, Cfg: cfg, Spec: sp})
+	}
+	res, err := Execute(opts, w, runs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Table I: workload characteristics (measured under Ideal config; paper values in parens).")
+	fmt.Fprintln(w, "RMHB = required miss-handling bandwidth of off-package memory; MPMS = LLC misses/us.")
+	fmt.Fprintln(w, "Footprints are the paper's scaled 1/64 (see DESIGN.md); class boundaries are relative")
+	fmt.Fprintf(w, "to the scaled off-package bandwidth of 25.6 GB/s.\n\n")
+
+	t := newTable("Class", "Workload", "RMHB GB/s", "(paper)", "LLC MPMS", "(paper)", "Footprint MB", "(paper GB)", "IdealIPC")
+	for _, sp := range specs {
+		r := res[sp.Abbr]
+		p := paperTable1[sp.Abbr]
+		t.addf(sp.Class, sp.Abbr,
+			r.RMHBGBs, fmt.Sprintf("(%.1f)", p[0]),
+			r.LLCMPMS, fmt.Sprintf("(%.1f)", p[1]),
+			float64(sp.FootprintBytes())/(1024*1024), fmt.Sprintf("(%.1f)", p[2]),
+			r.IPC)
+	}
+	t.write(w)
+	return nil
+}

@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	if BlockSize != 64 || PageSize != 4096 || SubBlocksPerPage != 64 {
+		t.Fatalf("geometry constants wrong: %d %d %d", BlockSize, PageSize, SubBlocksPerPage)
+	}
+}
+
+func TestAddressHelpers(t *testing.T) {
+	addr := uint64(0x12345)
+	if PageNum(addr) != 0x12 {
+		t.Errorf("PageNum = %#x", PageNum(addr))
+	}
+	if PageOffset(addr) != 0x345 {
+		t.Errorf("PageOffset = %#x", PageOffset(addr))
+	}
+	if BlockAligned(0x12345) != 0x12340 {
+		t.Errorf("BlockAligned = %#x", BlockAligned(0x12345))
+	}
+	if BlockNum(0x12345) != 0x48d {
+		t.Errorf("BlockNum = %#x", BlockNum(0x12345))
+	}
+	if SubBlockIndex(0x345) != 13 {
+		t.Errorf("SubBlockIndex = %d", SubBlockIndex(0x345))
+	}
+	if FrameAddr(3) != 3*4096 {
+		t.Errorf("FrameAddr = %d", FrameAddr(3))
+	}
+}
+
+// TestFrameRoundTrip: composing and decomposing (frame, offset) is lossless
+// for any inputs.
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(frame, offset uint64) bool {
+		frame &= (1 << 40) - 1 // stay clear of the space-tag bits
+		offset &= PageSize - 1
+		addr := AddrInFrame(frame, offset)
+		return PageNum(addr) == frame && PageOffset(addr) == offset
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpaceTagRoundTrip: tagging never changes the device address and the
+// space is always recoverable.
+func TestSpaceTagRoundTrip(t *testing.T) {
+	f := func(addr uint64, cacheSpace bool) bool {
+		addr &= SpaceBit - 1 // device addresses live below the tag bit
+		s := SpacePhysical
+		if cacheSpace {
+			s = SpaceCache
+		}
+		tagged := TagSpace(addr, s)
+		return SpaceOf(tagged) == s && Untag(tagged) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindDemand: "demand", KindMetadata: "metadata", KindFill: "fill",
+		KindWriteback: "writeback", KindWalk: "walk",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(200).String() != "invalid" {
+		t.Errorf("invalid kind string = %q", Kind(200).String())
+	}
+}
+
+func TestSpaceStrings(t *testing.T) {
+	if SpacePhysical.String() != "physical" || SpaceCache.String() != "cache" {
+		t.Error("space strings wrong")
+	}
+	if Space(9).String() != "invalid" {
+		t.Error("invalid space string wrong")
+	}
+}
+
+func TestSubBlockIndexCoversPage(t *testing.T) {
+	seen := map[uint]bool{}
+	for off := uint64(0); off < PageSize; off += BlockSize {
+		seen[SubBlockIndex(off)] = true
+	}
+	if len(seen) != SubBlocksPerPage {
+		t.Fatalf("sub-block indexes cover %d values, want %d", len(seen), SubBlocksPerPage)
+	}
+}

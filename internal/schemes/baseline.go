@@ -1,0 +1,64 @@
+package schemes
+
+import (
+	"nomad/internal/dram"
+	"nomad/internal/mem"
+	"nomad/internal/osmem"
+	"nomad/internal/sim"
+	"nomad/internal/tlb"
+)
+
+// Baseline models a traditional system with only off-package memory: the
+// lower bound of DRAM cache performance (§IV-A). Every post-LLC access goes
+// to DDR; translation is a plain page-table walk.
+type Baseline struct {
+	eng   *sim.Engine
+	ddr   *dram.Device
+	mm    *osmem.Manager
+	walk  uint64
+	stats AccessStats
+}
+
+// NewBaseline builds the baseline scheme.
+func NewBaseline(eng *sim.Engine, ddr *dram.Device, mm *osmem.Manager, walkLatency uint64) *Baseline {
+	return &Baseline{eng: eng, ddr: ddr, mm: mm, walk: walkLatency}
+}
+
+// Name implements Scheme.
+func (b *Baseline) Name() string { return "Baseline" }
+
+// Access implements Scheme.
+func (b *Baseline) Access(req *mem.Request, done mem.Done) {
+	if req.Write {
+		b.stats.Writes++
+	} else {
+		b.stats.PhysSpaceReads++
+		done = b.stats.recordRead(b.eng.Now, done)
+	}
+	b.ddr.Access(mem.Untag(req.Addr), req.Write, req.Kind, req.Priority, done)
+}
+
+// Walker implements Scheme.
+func (b *Baseline) Walker() tlb.Walker { return baselineWalker{b} }
+
+type baselineWalker struct{ b *Baseline }
+
+func (w baselineWalker) Walk(coreID int, vaddr uint64, done func(tlb.Entry)) {
+	w.b.eng.Schedule(w.b.walk, func() {
+		vpn := mem.PageNum(vaddr)
+		pte := w.b.mm.PTEOf(coreID, vpn)
+		done(tlb.Entry{VPN: vpn, Frame: pte.Frame, Space: mem.SpacePhysical})
+	})
+}
+
+// Directory implements Scheme.
+func (b *Baseline) Directory() tlb.Directory { return nil }
+
+// NoteStore implements Scheme.
+func (b *Baseline) NoteStore(coreID int, e tlb.Entry) {}
+
+// Drained implements Scheme.
+func (b *Baseline) Drained() bool { return true }
+
+// AccessStats returns the scheme's DC-controller statistics.
+func (b *Baseline) AccessStats() *AccessStats { return &b.stats }

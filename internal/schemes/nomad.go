@@ -1,0 +1,107 @@
+package schemes
+
+import (
+	"nomad/internal/core"
+	"nomad/internal/dram"
+	"nomad/internal/mem"
+	"nomad/internal/osmem"
+	"nomad/internal/sim"
+	"nomad/internal/tlb"
+)
+
+// NOMAD assembles the paper's design: the OS front-end (tag management in
+// PTEs/TLBs, Algorithm 1 and 2) over the hardware back-end (PCSHRs and page
+// copy buffers). The scheme's post-LLC path performs the data-hit
+// verification of §III-D.3: every cache-space access CAM-matches the PCSHR
+// CFN tags before touching the on-package DRAM.
+type NOMAD struct {
+	eng      *sim.Engine
+	hbm, ddr *dram.Device
+	mm       *osmem.Manager
+	frontend *core.Frontend
+	backend  *core.Backend
+	stats    AccessStats
+}
+
+// NewNOMAD builds the full NOMAD scheme. threads and flusher are supplied by
+// the system assembly.
+func NewNOMAD(eng *sim.Engine, hbm, ddr *dram.Device, mm *osmem.Manager,
+	fcfg core.FrontendConfig, bcfg core.BackendConfig,
+	threads []core.Thread, flusher core.Flusher) *NOMAD {
+	fcfg.Blocking = false
+	backend := core.NewBackend(eng, bcfg, hbm, ddr)
+	frontend := core.NewFrontend(eng, fcfg, mm, threads, flusher, backend, nil, nil)
+	return &NOMAD{eng: eng, hbm: hbm, ddr: ddr, mm: mm, frontend: frontend, backend: backend}
+}
+
+// Name implements Scheme.
+func (n *NOMAD) Name() string { return "NOMAD" }
+
+// Access implements Scheme: data-hit verification, then DRAM or page copy
+// buffer.
+func (n *NOMAD) Access(req *mem.Request, done mem.Done) {
+	addr := mem.Untag(req.Addr)
+	if req.Write {
+		n.stats.Writes++
+	} else {
+		done = n.stats.recordRead(n.eng.Now, done)
+	}
+	verify := n.backend.Config().VerifyLatency
+
+	if mem.SpaceOf(req.Addr) == mem.SpaceCache {
+		if !req.Write {
+			n.stats.CacheSpaceReads++
+		}
+		cfn := mem.PageNum(addr)
+		si := mem.SubBlockIndex(addr)
+		write := req.Write
+		kind := req.Kind
+		prio := req.Priority
+		proceed := func() {
+			if n.backend.CheckCacheAccess(cfn, si, write, done) == core.DataHit {
+				n.hbm.Access(addr, write, kind, prio, done)
+			}
+		}
+		if verify > 0 {
+			n.eng.Schedule(verify, proceed)
+		} else {
+			proceed()
+		}
+		return
+	}
+
+	if !req.Write {
+		n.stats.PhysSpaceReads++
+	}
+	pfn := mem.PageNum(addr)
+	si := mem.SubBlockIndex(addr)
+	if n.backend.CheckPhysicalAccess(pfn, si, req.Write, done) == core.DataHit {
+		n.ddr.Access(addr, req.Write, req.Kind, req.Priority, done)
+	}
+}
+
+// Walker implements Scheme.
+func (n *NOMAD) Walker() tlb.Walker { return n.frontend }
+
+// Directory implements Scheme.
+func (n *NOMAD) Directory() tlb.Directory { return n.frontend }
+
+// NoteStore implements Scheme: sets the dirty-in-cache bit alongside the
+// conventional PTE dirty bit (no extra cost, §III-C.1).
+func (n *NOMAD) NoteStore(coreID int, e tlb.Entry) {
+	if e.Space == mem.SpaceCache {
+		n.mm.MarkDirty(e.Frame)
+	}
+}
+
+// Drained implements Scheme.
+func (n *NOMAD) Drained() bool { return n.backend.ActivePCSHRs() == 0 }
+
+// Frontend exposes the OS routines (stats, tests).
+func (n *NOMAD) Frontend() *core.Frontend { return n.frontend }
+
+// Backend exposes the hardware engine (stats, tests).
+func (n *NOMAD) Backend() *core.Backend { return n.backend }
+
+// AccessStats returns the scheme's DC-controller statistics.
+func (n *NOMAD) AccessStats() *AccessStats { return &n.stats }

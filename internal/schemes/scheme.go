@@ -1,0 +1,66 @@
+// Package schemes implements the five memory schemes of the evaluation
+// (§IV-A) behind one interface: Baseline (off-package only), TiD (HW-based,
+// Unison-style tags-in-DRAM), TDC (blocking OS-managed), NOMAD, and Ideal
+// (zero-penalty OS-managed upper bound).
+//
+// A Scheme sits below the shared LLC (it is the DC controller plus, for the
+// OS-managed designs, the OS front-end), and above the two DRAM devices.
+package schemes
+
+import (
+	"nomad/internal/mem"
+	"nomad/internal/tlb"
+)
+
+// Scheme is one memory-system design under test.
+type Scheme interface {
+	Name() string
+	// Access handles post-LLC traffic (demand misses and writebacks).
+	// The request address is space-tagged (mem.TagSpace).
+	Access(req *mem.Request, done mem.Done)
+	// Walker resolves TLB misses (scheme-specific: OS-managed schemes
+	// run DC tag miss handling here).
+	Walker() tlb.Walker
+	// Directory observes TLB residency of cache-space translations (nil
+	// for schemes that do not need it).
+	Directory() tlb.Directory
+	// NoteStore is invoked after a store's translation so OS-managed
+	// schemes can set the dirty-in-cache bit (free in real hardware,
+	// §III-C.1).
+	NoteStore(coreID int, e tlb.Entry)
+	// Drained reports whether background work has quiesced (used to
+	// drain between warmup and measurement windows if desired).
+	Drained() bool
+}
+
+// AccessStats measures the effective DC access time at the DC controller
+// (Fig. 9's right axis) — time from the post-LLC request entering the
+// scheme until its data is available.
+type AccessStats struct {
+	Reads          uint64
+	ReadLatencySum uint64
+	Writes         uint64
+	// CacheSpaceReads counts reads served by the on-package DRAM path.
+	CacheSpaceReads uint64
+	PhysSpaceReads  uint64
+}
+
+// AvgReadLatency returns the mean post-LLC read latency in cycles.
+func (s *AccessStats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadLatencySum) / float64(s.Reads)
+}
+
+// recordRead wraps done to account a read's latency.
+func (s *AccessStats) recordRead(now func() uint64, done mem.Done) mem.Done {
+	start := now()
+	s.Reads++
+	return func() {
+		s.ReadLatencySum += now() - start
+		if done != nil {
+			done()
+		}
+	}
+}

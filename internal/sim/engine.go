@@ -1,0 +1,172 @@
+// Package sim provides the deterministic simulation engine that drives every
+// component in the repository: a cycle-ordered event queue plus a set of
+// per-cycle tickers.
+//
+// Two execution styles coexist:
+//
+//   - Event-driven components (caches, OS routines, completion callbacks)
+//     schedule closures with Engine.Schedule / Engine.At.
+//   - Cycle-driven components (CPU cores, DRAM channel schedulers) register a
+//     Ticker and are invoked once per simulated cycle.
+//
+// Determinism: events scheduled for the same cycle run in FIFO order of
+// scheduling (a monotonically increasing sequence number breaks heap ties),
+// and tickers run in registration order before the cycle's events. A given
+// (configuration, workload, seed) therefore always produces identical
+// statistics, which the tests rely on.
+package sim
+
+import "fmt"
+
+// Ticker is a component that needs to observe every simulated cycle.
+type Ticker interface {
+	// Tick is called exactly once per cycle, after the cycle counter has
+	// advanced and before that cycle's scheduled events run.
+	Tick(now uint64)
+}
+
+// TickerFunc adapts a plain function to the Ticker interface.
+type TickerFunc func(now uint64)
+
+// Tick implements Ticker.
+func (f TickerFunc) Tick(now uint64) { f(now) }
+
+type event struct {
+	cycle uint64
+	seq   uint64
+	fn    func()
+}
+
+// eventHeap is a hand-rolled binary min-heap ordered by (cycle, seq). It is
+// typed (no interface boxing) because event scheduling is the simulator's
+// hottest allocation path.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the closure for GC
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}
+
+// Engine is the simulation clock. The zero value is not usable; call New.
+type Engine struct {
+	now     uint64
+	seq     uint64
+	events  eventHeap
+	tickers []Ticker
+}
+
+// New returns an Engine at cycle 0 with no pending work.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// AddTicker registers t to be invoked every cycle. Tickers run in
+// registration order.
+func (e *Engine) AddTicker(t Ticker) {
+	e.tickers = append(e.tickers, t)
+}
+
+// Schedule runs fn delay cycles from now. A delay of 0 runs fn later in the
+// current cycle (after already-queued same-cycle events).
+func (e *Engine) Schedule(delay uint64, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at the given absolute cycle, which must not be in the past.
+func (e *Engine) At(cycle uint64, fn func()) {
+	if cycle < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d, now is %d", cycle, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling a nil event")
+	}
+	e.seq++
+	e.events.push(event{cycle: cycle, seq: e.seq, fn: fn})
+}
+
+// Step advances the clock by one cycle: tickers first, then every event due
+// at the new cycle (including events those events schedule for the same
+// cycle).
+func (e *Engine) Step() {
+	e.now++
+	for _, t := range e.tickers {
+		t.Tick(e.now)
+	}
+	e.drain()
+}
+
+// drain runs all events due at or before the current cycle.
+func (e *Engine) drain() {
+	for len(e.events) > 0 && e.events[0].cycle <= e.now {
+		ev := e.events.pop()
+		ev.fn()
+	}
+}
+
+// Run advances the clock by cycles steps.
+func (e *Engine) Run(cycles uint64) {
+	for i := uint64(0); i < cycles; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil advances the clock until pred returns true or maxCycles elapse.
+// It reports whether pred was satisfied.
+func (e *Engine) RunUntil(pred func() bool, maxCycles uint64) bool {
+	for i := uint64(0); i < maxCycles; i++ {
+		if pred() {
+			return true
+		}
+		e.Step()
+	}
+	return pred()
+}
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }

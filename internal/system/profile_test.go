@@ -1,0 +1,25 @@
+package system
+
+import (
+	"testing"
+
+	"nomad/internal/workload"
+)
+
+// BenchmarkROI measures simulator throughput on the default NOMAD
+// configuration (used for profiling; run with -cpuprofile).
+func BenchmarkROI(b *testing.B) {
+	spec, _ := workload.ByAbbr("cact")
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.WarmupInstructions = 0
+		cfg.ROIInstructions = 400_000
+		m, err := New(cfg, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package system
+
+import (
+	"fmt"
+
+	"nomad/internal/cache"
+	"nomad/internal/core"
+	"nomad/internal/cpu"
+	"nomad/internal/dram"
+	"nomad/internal/mem"
+	"nomad/internal/schemes"
+)
+
+// Result is the measured region-of-interest outcome of one run. All rates
+// use the 3.2 GHz clock.
+type Result struct {
+	Scheme   SchemeName
+	Workload string
+	Cores    int
+
+	Cycles       uint64
+	Instructions uint64
+	Seconds      float64
+
+	// IPC is system throughput (retired instructions per cycle, summed
+	// over cores). Figures normalize it, so the convention cancels.
+	IPC float64
+
+	// OSStallRatio is the average fraction of cycles threads were
+	// suspended by OS routines (Fig. 11's "application stall cycles").
+	OSStallRatio  float64
+	MemStallRatio float64
+
+	// AvgDCAccessTime is the mean post-LLC read latency in CPU cycles,
+	// measured at the DC controller (Fig. 9, right axis).
+	AvgDCAccessTime float64
+
+	LLCMisses uint64
+	// LLCMPMS is LLC misses per microsecond (Table I).
+	LLCMPMS float64
+
+	// HBMBytesByKind breaks on-package traffic into demand / metadata /
+	// fill / writeback (Fig. 10, left axis); HBMRowHitRate is its right
+	// axis. HBMUtilization is bus-busy fraction.
+	HBMBytesByKind [mem.NumKinds]uint64
+	HBMRowHitRate  float64
+	HBMUtilization float64
+	HBMGBs         float64
+
+	// HBMAvgReadLat / DDRAvgReadLat are device-level mean read latencies
+	// (arrival to data), exposing queueing behaviour.
+	HBMAvgReadLat float64
+	DDRAvgReadLat float64
+
+	DDRBytesByKind [mem.NumKinds]uint64
+	DDRUtilization float64
+	// OffPkgGBs is total off-package bandwidth consumption (Fig. 12).
+	OffPkgGBs float64
+
+	// RMHBGBs is the required miss-handling bandwidth (Table I): for the
+	// Ideal scheme the fills that would have been needed; for real
+	// schemes the fill traffic actually read from off-package memory.
+	RMHBGBs float64
+
+	// Tag management (OS-managed schemes; Figs. 11/14/15/16).
+	TagMisses         uint64
+	AvgTagMgmtLatency float64
+	MaxTagMgmtLatency uint64
+
+	// NOMAD back-end behaviour (§IV-B.5: the paper reports 91.6% of data
+	// misses hitting page copy buffers).
+	DataHits          uint64
+	DataMisses        uint64
+	BufferHitRate     float64
+	SubEntryOverflows uint64
+
+	Evictions      uint64
+	DirtyEvictions uint64
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: IPC=%.3f dcAccess=%.1fcyc stall=%.1f%% tagLat=%.0fcyc hbm=%.1fGB/s offpkg=%.1fGB/s",
+		r.Scheme, r.Workload, r.IPC, r.AvgDCAccessTime, 100*r.OSStallRatio,
+		r.AvgTagMgmtLatency, r.HBMGBs, r.OffPkgGBs)
+}
+
+// snapshot captures all counters at the warmup/ROI boundary so the Result
+// reflects only the measured region.
+type snapshot struct {
+	cores          []cpu.Stats
+	hbm            dram.Stats
+	ddr            dram.Stats
+	llc            cache.Stats
+	access         schemes.AccessStats
+	frontend       core.FrontendStats
+	backend        core.BackendStats
+	tid            schemes.TiDStats
+	idealFill      uint64
+	idealTagMisses uint64
+}
+
+func (m *Machine) snapshot() snapshot {
+	s := snapshot{
+		cores: make([]cpu.Stats, len(m.cores)),
+		hbm:   *m.hbm.Stats(),
+		ddr:   *m.ddr.Stats(),
+		llc:   *m.llc.Stats(),
+	}
+	for i, c := range m.cores {
+		s.cores[i] = *c.Stats()
+	}
+	switch sc := m.scheme.(type) {
+	case *schemes.Baseline:
+		s.access = *sc.AccessStats()
+	case *schemes.TiD:
+		s.access = *sc.AccessStats()
+		s.tid = *sc.TiDStats()
+	case *schemes.TDC:
+		s.access = *sc.AccessStats()
+		s.frontend = *sc.Frontend().Stats()
+	case *schemes.NOMAD:
+		s.access = *sc.AccessStats()
+		s.frontend = *sc.Frontend().Stats()
+		s.backend = *sc.Backend().Stats()
+	case *schemes.Ideal:
+		s.access = *sc.AccessStats()
+		s.idealFill = sc.WouldFillBytes
+		s.idealTagMisses = sc.TagMisses
+	}
+	return s
+}
+
+func sumBytes(b [mem.NumKinds]uint64) uint64 {
+	var t uint64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// result computes the ROI Result as the difference against the snapshot.
+func (m *Machine) result(s snapshot) *Result {
+	r := &Result{Scheme: m.cfg.Scheme, Workload: m.workload, Cores: len(m.cores)}
+
+	cycles := m.cores[0].Stats().Cycles - s.cores[0].Cycles
+	r.Cycles = cycles
+	r.Seconds = float64(cycles) / ClockHz
+
+	var osStall, memStall uint64
+	for i, c := range m.cores {
+		cs := c.Stats()
+		r.Instructions += cs.Instructions - s.cores[i].Instructions
+		osStall += cs.OSBlockedCycles - s.cores[i].OSBlockedCycles
+		memStall += cs.MemStallCycles - s.cores[i].MemStallCycles
+	}
+	totalCoreCycles := cycles * uint64(len(m.cores))
+	if cycles > 0 {
+		r.IPC = float64(r.Instructions) / float64(cycles)
+		r.OSStallRatio = float64(osStall) / float64(totalCoreCycles)
+		r.MemStallRatio = float64(memStall) / float64(totalCoreCycles)
+	}
+
+	// LLC.
+	llc := m.llc.Stats()
+	r.LLCMisses = llc.Misses - s.llc.Misses
+	if r.Seconds > 0 {
+		r.LLCMPMS = float64(r.LLCMisses) / (r.Seconds * 1e6)
+	}
+
+	// DRAM devices.
+	hbm, ddr := m.hbm.Stats(), m.ddr.Stats()
+	for k := 0; k < mem.NumKinds; k++ {
+		r.HBMBytesByKind[k] = hbm.BytesByKind[k] - s.hbm.BytesByKind[k]
+		r.DDRBytesByKind[k] = ddr.BytesByKind[k] - s.ddr.BytesByKind[k]
+	}
+	hbmBursts := (hbm.RowHits + hbm.RowMisses + hbm.RowConflicts) -
+		(s.hbm.RowHits + s.hbm.RowMisses + s.hbm.RowConflicts)
+	if hbmBursts > 0 {
+		r.HBMRowHitRate = float64(hbm.RowHits-s.hbm.RowHits) / float64(hbmBursts)
+	}
+	if cycles > 0 {
+		r.HBMUtilization = float64(hbm.BusBusyCycles-s.hbm.BusBusyCycles) /
+			float64(cycles*uint64(m.cfg.HBM.Channels))
+		r.DDRUtilization = float64(ddr.BusBusyCycles-s.ddr.BusBusyCycles) /
+			float64(cycles*uint64(m.cfg.DDR.Channels))
+	}
+	if r.Seconds > 0 {
+		r.HBMGBs = float64(sumBytes(r.HBMBytesByKind)) / r.Seconds / 1e9
+		r.OffPkgGBs = float64(sumBytes(r.DDRBytesByKind)) / r.Seconds / 1e9
+	}
+	r.HBMAvgReadLat = diffAvg(hbm.ReadLatencySum-s.hbm.ReadLatencySum, hbm.ReadCount-s.hbm.ReadCount)
+	r.DDRAvgReadLat = diffAvg(ddr.ReadLatencySum-s.ddr.ReadLatencySum, ddr.ReadCount-s.ddr.ReadCount)
+
+	// Scheme-specific measures.
+	switch sc := m.scheme.(type) {
+	case *schemes.Baseline:
+		a := *sc.AccessStats()
+		r.AvgDCAccessTime = diffAvg(a.ReadLatencySum-s.access.ReadLatencySum, a.Reads-s.access.Reads)
+	case *schemes.TiD:
+		a := *sc.AccessStats()
+		r.AvgDCAccessTime = diffAvg(a.ReadLatencySum-s.access.ReadLatencySum, a.Reads-s.access.Reads)
+	case *schemes.TDC:
+		a := *sc.AccessStats()
+		r.AvgDCAccessTime = diffAvg(a.ReadLatencySum-s.access.ReadLatencySum, a.Reads-s.access.Reads)
+		f := *sc.Frontend().Stats()
+		r.TagMisses = f.TagMisses - s.frontend.TagMisses
+		r.AvgTagMgmtLatency = diffAvg(f.TagMgmtLatencySum-s.frontend.TagMgmtLatencySum, r.TagMisses)
+		r.MaxTagMgmtLatency = f.TagMgmtLatencyMax
+		r.Evictions = f.Evictions - s.frontend.Evictions
+		r.DirtyEvictions = f.DirtyEvictions - s.frontend.DirtyEvictions
+	case *schemes.NOMAD:
+		a := *sc.AccessStats()
+		r.AvgDCAccessTime = diffAvg(a.ReadLatencySum-s.access.ReadLatencySum, a.Reads-s.access.Reads)
+		f := *sc.Frontend().Stats()
+		r.TagMisses = f.TagMisses - s.frontend.TagMisses
+		r.AvgTagMgmtLatency = diffAvg(f.TagMgmtLatencySum-s.frontend.TagMgmtLatencySum, r.TagMisses)
+		r.MaxTagMgmtLatency = f.TagMgmtLatencyMax
+		r.Evictions = f.Evictions - s.frontend.Evictions
+		r.DirtyEvictions = f.DirtyEvictions - s.frontend.DirtyEvictions
+		b := *sc.Backend().Stats()
+		r.DataHits = b.DataHits - s.backend.DataHits
+		r.DataMisses = b.DataMisses - s.backend.DataMisses
+		if r.DataMisses > 0 {
+			r.BufferHitRate = float64(b.BufferHits-s.backend.BufferHits) / float64(r.DataMisses)
+		}
+		r.SubEntryOverflows = b.SubEntryOverflows - s.backend.SubEntryOverflows
+	case *schemes.Ideal:
+		a := *sc.AccessStats()
+		r.AvgDCAccessTime = diffAvg(a.ReadLatencySum-s.access.ReadLatencySum, a.Reads-s.access.Reads)
+		r.TagMisses = sc.TagMisses - s.idealTagMisses
+		if r.Seconds > 0 {
+			r.RMHBGBs = float64(sc.WouldFillBytes-s.idealFill) / r.Seconds / 1e9
+		}
+	}
+	if m.cfg.Scheme != SchemeIdeal && r.Seconds > 0 {
+		// Measured miss-handling bandwidth: fill reads from off-package
+		// memory.
+		r.RMHBGBs = float64(r.DDRBytesByKind[mem.KindFill]) / r.Seconds / 1e9
+	}
+	return r
+}
+
+func diffAvg(sum, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

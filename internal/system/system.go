@@ -1,0 +1,270 @@
+// Package system assembles the full machine — cores, TLBs, SRAM hierarchy,
+// DRAM devices, OS memory manager, and the memory scheme under test — and
+// runs warmup + region-of-interest simulations, producing a Result with the
+// measurements every paper figure needs.
+package system
+
+import (
+	"fmt"
+
+	"nomad/internal/cache"
+	"nomad/internal/core"
+	"nomad/internal/cpu"
+	"nomad/internal/dram"
+	"nomad/internal/mem"
+	"nomad/internal/osmem"
+	"nomad/internal/schemes"
+	"nomad/internal/sim"
+	"nomad/internal/tlb"
+	"nomad/internal/workload"
+)
+
+// ClockHz is the CPU clock; all cycle counts convert to wall time with it.
+const ClockHz = 3.2e9
+
+// SchemeName selects the memory scheme under test.
+type SchemeName string
+
+const (
+	SchemeBaseline SchemeName = "Baseline"
+	SchemeTiD      SchemeName = "TiD"
+	SchemeTDC      SchemeName = "TDC"
+	SchemeNOMAD    SchemeName = "NOMAD"
+	SchemeIdeal    SchemeName = "Ideal"
+)
+
+// AllSchemes lists the evaluation's schemes in Fig. 9 order.
+func AllSchemes() []SchemeName {
+	return []SchemeName{SchemeBaseline, SchemeTiD, SchemeTDC, SchemeNOMAD, SchemeIdeal}
+}
+
+// Config describes one simulated machine.
+type Config struct {
+	Cores int
+	Core  cpu.Config
+	L1    cache.Config
+	L2    cache.Config
+	LLC   cache.Config
+	TLB   tlb.Config
+	HBM   dram.Config
+	DDR   dram.Config
+	// CacheFrames is the DRAM cache capacity in 4 KB frames.
+	CacheFrames uint64
+	Scheme      SchemeName
+	Frontend    core.FrontendConfig
+	Backend     core.BackendConfig
+	TiDMSHRs    int
+
+	// WarmupInstructions/ROIInstructions are per-core retirement targets.
+	WarmupInstructions uint64
+	ROIInstructions    uint64
+	// MaxCycles bounds a run (safety for pathological configurations).
+	MaxCycles uint64
+	Seed      uint64
+}
+
+// DefaultConfig returns the Table II-derived evaluation configuration at the
+// scaled capacities documented in DESIGN.md: 8 cores, 32 KB L1 / 256 KB L2 /
+// 4 MB shared LLC, 128 MB DRAM cache.
+func DefaultConfig() Config {
+	return Config{
+		Cores:              8,
+		Core:               cpu.DefaultConfig(),
+		L1:                 cache.Config{Name: "L1", Sets: 64, Ways: 8, Latency: 4, MSHRs: 16},
+		L2:                 cache.Config{Name: "L2", Sets: 512, Ways: 8, Latency: 12, MSHRs: 32},
+		LLC:                cache.Config{Name: "LLC", Sets: 4096, Ways: 16, Latency: 38, MSHRs: 64},
+		TLB:                tlb.DefaultConfig(),
+		HBM:                dram.HBMConfig(),
+		DDR:                dram.DDRConfig(),
+		CacheFrames:        32768, // 128 MB
+		Scheme:             SchemeNOMAD,
+		Frontend:           core.DefaultFrontendConfig(),
+		Backend:            core.DefaultBackendConfig(),
+		WarmupInstructions: 700_000,
+		ROIInstructions:    1_200_000,
+		MaxCycles:          400_000_000,
+		Seed:               1,
+	}
+}
+
+// Machine is one assembled system.
+type Machine struct {
+	cfg      Config
+	workload string
+	eng      *sim.Engine
+	hbm      *dram.Device
+	ddr      *dram.Device
+	mm       *osmem.Manager
+	scheme   schemes.Scheme
+	cores    []*cpu.Core
+	tlbs     []*tlb.TLB
+	l1s      []*cache.Cache
+	l2s      []*cache.Cache
+	llc      *cache.Cache
+}
+
+// threadAdapter lets the OS front-end suspend cores without the core
+// package importing cpu.
+type threadAdapter struct{ c *cpu.Core }
+
+func (t threadAdapter) Block()   { t.c.Block() }
+func (t threadAdapter) Unblock() { t.c.Unblock() }
+
+// flusher invalidates a DC frame's lines throughout the SRAM hierarchy
+// (L1s and L2s first, then the LLC, so dirty data funnels downward).
+type flusher struct{ m *Machine }
+
+func (f flusher) FlushFrame(cfn uint64) {
+	addr := mem.TagSpace(mem.FrameAddr(cfn), mem.SpaceCache)
+	for _, c := range f.m.l1s {
+		c.FlushPage(addr)
+	}
+	for _, c := range f.m.l2s {
+		c.FlushPage(addr)
+	}
+	f.m.llc.FlushPage(addr)
+}
+
+// shootdowner performs real TLB shootdowns for the reclaim-starvation
+// fallback (tiny caches where TLB reach rivals DC capacity).
+type shootdowner struct{ m *Machine }
+
+func (s shootdowner) Shootdown(coreID int, vpn uint64) {
+	s.m.tlbs[coreID].Invalidate(vpn)
+}
+
+// port is one core's path into the memory system: translate, then L1.
+type port struct {
+	m      *Machine
+	coreID int
+}
+
+func (p port) Load(coreID int, vaddr uint64, done func()) {
+	p.m.tlbs[p.coreID].Translate(vaddr, func(e tlb.Entry) {
+		addr := mem.TagSpace(mem.AddrInFrame(e.Frame, mem.PageOffset(vaddr)), e.Space)
+		req := mem.Request{Addr: addr, Core: p.coreID, Kind: mem.KindDemand}
+		p.m.l1s[p.coreID].Access(&req, done)
+	})
+}
+
+func (p port) Store(coreID int, vaddr uint64) {
+	p.m.tlbs[p.coreID].Translate(vaddr, func(e tlb.Entry) {
+		p.m.scheme.NoteStore(p.coreID, e)
+		addr := mem.TagSpace(mem.AddrInFrame(e.Frame, mem.PageOffset(vaddr)), e.Space)
+		req := mem.Request{Addr: addr, Write: true, Core: p.coreID, Kind: mem.KindDemand}
+		p.m.l1s[p.coreID].Access(&req, nil)
+	})
+}
+
+// New builds a machine running spec on every core (rate mode, as in the
+// paper: one single-threaded program per CPU).
+func New(cfg Config, spec workload.Spec) (*Machine, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("system: core count must be positive, got %d", cfg.Cores)
+	}
+	m := &Machine{cfg: cfg, workload: spec.Abbr, eng: sim.New()}
+	m.hbm = dram.New(m.eng, cfg.HBM)
+	m.ddr = dram.New(m.eng, cfg.DDR)
+	m.mm = osmem.New(cfg.Cores, cfg.CacheFrames)
+
+	// Cores are built first (the OS front-end needs thread handles), but
+	// their memory ports are wired afterwards.
+	m.cores = make([]*cpu.Core, cfg.Cores)
+	threads := make([]core.Thread, cfg.Cores)
+	coreCfg := cfg.Core
+	if spec.MLP > 0 && spec.MLP < coreCfg.MaxLoads {
+		// Dependence-limited workloads cannot fill the hardware's
+		// outstanding-load capacity.
+		coreCfg.MaxLoads = spec.MLP
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		stream := workload.NewStream(spec, cfg.Seed+uint64(i)*7919)
+		m.cores[i] = cpu.New(i, coreCfg, port{m: m, coreID: i}, stream)
+		threads[i] = threadAdapter{m.cores[i]}
+	}
+
+	walk := cfg.Frontend.WalkLatency
+	if walk == 0 {
+		walk = core.DefaultFrontendConfig().WalkLatency
+	}
+	switch cfg.Scheme {
+	case SchemeBaseline:
+		m.scheme = schemes.NewBaseline(m.eng, m.ddr, m.mm, walk)
+	case SchemeTiD:
+		m.scheme = schemes.NewTiD(m.eng, m.hbm, m.ddr, m.mm, walk,
+			schemes.TiDConfig{CapacityBytes: cfg.CacheFrames * mem.PageSize, MSHRs: cfg.TiDMSHRs})
+	case SchemeTDC:
+		m.scheme = schemes.NewTDC(m.eng, m.hbm, m.ddr, m.mm, cfg.Frontend, threads, flusher{m})
+	case SchemeNOMAD:
+		m.scheme = schemes.NewNOMAD(m.eng, m.hbm, m.ddr, m.mm, cfg.Frontend, cfg.Backend, threads, flusher{m})
+	case SchemeIdeal:
+		m.scheme = schemes.NewIdeal(m.eng, m.hbm, m.ddr, m.mm, walk)
+	default:
+		return nil, fmt.Errorf("system: unknown scheme %q", cfg.Scheme)
+	}
+
+	m.llc = cache.New(m.eng, cfg.LLC, m.scheme)
+	m.l1s = make([]*cache.Cache, cfg.Cores)
+	m.l2s = make([]*cache.Cache, cfg.Cores)
+	m.tlbs = make([]*tlb.TLB, cfg.Cores)
+	dir := m.scheme.Directory()
+	for i := 0; i < cfg.Cores; i++ {
+		m.l2s[i] = cache.New(m.eng, cfg.L2, m.llc)
+		m.l1s[i] = cache.New(m.eng, cfg.L1, m.l2s[i])
+		m.tlbs[i] = tlb.New(m.eng, i, cfg.TLB, m.scheme.Walker(), dir)
+		m.eng.AddTicker(m.cores[i])
+	}
+	switch sc := m.scheme.(type) {
+	case *schemes.NOMAD:
+		sc.Frontend().SetShootdowner(shootdowner{m})
+	case *schemes.TDC:
+		sc.Frontend().SetShootdowner(shootdowner{m})
+	case *schemes.Ideal:
+		sc.SetShootdowner(shootdowner{m})
+	}
+	return m, nil
+}
+
+// Engine exposes the simulation clock (tests).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Scheme exposes the scheme under test (tests, stats).
+func (m *Machine) Scheme() schemes.Scheme { return m.scheme }
+
+// Cores exposes the core models (tests).
+func (m *Machine) Cores() []*cpu.Core { return m.cores }
+
+// runUntilRetired advances until every core has retired at least target
+// additional instructions (relative to the given baselines) or maxCycles
+// pass. It returns false on timeout.
+func (m *Machine) runUntilRetired(base []uint64, target uint64, maxCycles uint64) bool {
+	pred := func() bool {
+		for i, c := range m.cores {
+			if c.Stats().Instructions-base[i] < target {
+				return false
+			}
+		}
+		return true
+	}
+	return m.eng.RunUntil(pred, maxCycles)
+}
+
+// Run performs warmup then the measured region of interest and returns the
+// Result. An error is returned only on timeout (MaxCycles exceeded).
+func (m *Machine) Run() (*Result, error) {
+	cfg := m.cfg
+	base := make([]uint64, len(m.cores))
+	if cfg.WarmupInstructions > 0 {
+		if !m.runUntilRetired(base, cfg.WarmupInstructions, cfg.MaxCycles) {
+			return nil, fmt.Errorf("system: warmup exceeded %d cycles (scheme %s)", cfg.MaxCycles, cfg.Scheme)
+		}
+	}
+	snap := m.snapshot()
+	for i, c := range m.cores {
+		base[i] = c.Stats().Instructions
+	}
+	if !m.runUntilRetired(base, cfg.ROIInstructions, cfg.MaxCycles) {
+		return nil, fmt.Errorf("system: ROI exceeded %d cycles (scheme %s)", cfg.MaxCycles, cfg.Scheme)
+	}
+	return m.result(snap), nil
+}

@@ -1,0 +1,236 @@
+// Package tlb models per-core two-level TLBs and the page-table walk path.
+//
+// OS-managed DRAM cache schemes store the DC tag (a cache frame number) in
+// the PTE, so a TLB hit yields the on-package cache address directly — the
+// "ideal DC access time" property. All scheme-specific behaviour (examining
+// the PTE, invoking the DC tag miss handler, blocking the thread) lives
+// behind the Walker interface, which the scheme front-end implements.
+//
+// The TLB also feeds the CPD TLB directory used for shootdown avoidance: a
+// Directory listener is told whenever a cache-space translation enters or
+// leaves the (inclusive) second-level TLB, so the eviction daemon can skip
+// TLB-resident cache frames (Algorithm 2, lines 6-8).
+package tlb
+
+import (
+	"nomad/internal/mem"
+	"nomad/internal/sim"
+)
+
+// Entry is a completed translation: virtual page -> frame in a space.
+type Entry struct {
+	VPN   uint64
+	Frame uint64
+	Space mem.Space
+}
+
+// Walker resolves a TLB miss. Implementations model the page-table walk and
+// any OS miss handling; done fires when the translation is available. vaddr
+// is the full faulting virtual address: OS-managed DC schemes use its page
+// offset to set the prioritized sub-block (PI) of the cache-fill command
+// (critical-data-first, §III-D.2).
+type Walker interface {
+	Walk(core int, vaddr uint64, done func(Entry))
+}
+
+// Directory observes residency of cache-space translations in the TLB (both
+// levels; the L2 is inclusive of the L1). Physical-space entries are not
+// reported.
+type Directory interface {
+	TLBInserted(core int, e Entry)
+	TLBEvicted(core int, e Entry)
+}
+
+// Config sizes the two TLB levels.
+type Config struct {
+	L1Entries int
+	L2Entries int
+	L2Latency uint64 // added cycles for an L1-miss/L2-hit translation
+}
+
+// DefaultConfig matches the evaluation setup: 64-entry L1, 1536-entry L2,
+// 9-cycle L2 access.
+func DefaultConfig() Config {
+	return Config{L1Entries: 64, L2Entries: 1536, L2Latency: 9}
+}
+
+// Stats counts translation events for one core's TLB.
+type Stats struct {
+	L1Hits    uint64
+	L2Hits    uint64
+	Misses    uint64 // page-table walks
+	Coalesced uint64
+}
+
+// MissRate returns walks / lookups.
+func (s *Stats) MissRate() float64 {
+	t := s.L1Hits + s.L2Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+type slot struct {
+	e   Entry
+	lru uint64
+}
+
+type level struct {
+	entries map[uint64]*slot
+	cap     int
+	tick    uint64
+}
+
+func newLevel(capacity int) *level {
+	return &level{entries: make(map[uint64]*slot, capacity), cap: capacity}
+}
+
+func (l *level) lookup(vpn uint64) (*slot, bool) {
+	s, ok := l.entries[vpn]
+	if ok {
+		l.tick++
+		s.lru = l.tick
+	}
+	return s, ok
+}
+
+// insert adds e, returning the evicted entry if the level was full.
+func (l *level) insert(e Entry) (Entry, bool) {
+	if s, ok := l.entries[e.VPN]; ok {
+		l.tick++
+		s.e = e
+		s.lru = l.tick
+		return Entry{}, false
+	}
+	var victim Entry
+	evicted := false
+	if len(l.entries) >= l.cap {
+		var vk uint64
+		oldest := ^uint64(0)
+		for k, s := range l.entries {
+			if s.lru < oldest {
+				oldest = s.lru
+				vk = k
+			}
+		}
+		victim = l.entries[vk].e
+		delete(l.entries, vk)
+		evicted = true
+	}
+	l.tick++
+	l.entries[e.VPN] = &slot{e: e, lru: l.tick}
+	return victim, evicted
+}
+
+func (l *level) invalidate(vpn uint64) (Entry, bool) {
+	s, ok := l.entries[vpn]
+	if !ok {
+		return Entry{}, false
+	}
+	delete(l.entries, vpn)
+	return s.e, true
+}
+
+// TLB is one core's translation state.
+type TLB struct {
+	core   int
+	cfg    Config
+	eng    *sim.Engine
+	walker Walker
+	dir    Directory
+	l1, l2 *level
+	// inFlight coalesces concurrent walks to the same VPN.
+	inFlight map[uint64][]func(Entry)
+	stats    Stats
+}
+
+// New builds a TLB for the given core. dir may be nil.
+func New(eng *sim.Engine, core int, cfg Config, walker Walker, dir Directory) *TLB {
+	return &TLB{
+		core:     core,
+		cfg:      cfg,
+		eng:      eng,
+		walker:   walker,
+		dir:      dir,
+		l1:       newLevel(cfg.L1Entries),
+		l2:       newLevel(cfg.L2Entries),
+		inFlight: make(map[uint64][]func(Entry)),
+	}
+}
+
+// Stats returns the TLB's counters.
+func (t *TLB) Stats() *Stats { return &t.stats }
+
+// Translate resolves the virtual address's page. done receives the entry;
+// on an L1 hit it is called synchronously (zero added latency, the paper's
+// ideal DC access path), otherwise after the L2 latency or the full walk.
+func (t *TLB) Translate(vaddr uint64, done func(Entry)) {
+	vpn := mem.PageNum(vaddr)
+	if s, ok := t.l1.lookup(vpn); ok {
+		t.stats.L1Hits++
+		done(s.e)
+		return
+	}
+	if s, ok := t.l2.lookup(vpn); ok {
+		t.stats.L2Hits++
+		e := s.e
+		t.insertL1(e)
+		t.eng.Schedule(t.cfg.L2Latency, func() { done(e) })
+		return
+	}
+	if waiters, ok := t.inFlight[vpn]; ok {
+		t.stats.Coalesced++
+		t.inFlight[vpn] = append(waiters, done)
+		return
+	}
+	t.stats.Misses++
+	t.inFlight[vpn] = []func(Entry){done}
+	t.walker.Walk(t.core, vaddr, func(e Entry) {
+		t.install(e)
+		waiters := t.inFlight[vpn]
+		delete(t.inFlight, vpn)
+		for _, w := range waiters {
+			w(e)
+		}
+	})
+}
+
+// install puts a walked entry into both levels, maintaining inclusion and
+// notifying the directory.
+func (t *TLB) install(e Entry) {
+	victim, evicted := t.l2.insert(e)
+	if evicted {
+		t.l1.invalidate(victim.VPN)
+		if t.dir != nil && victim.Space == mem.SpaceCache {
+			t.dir.TLBEvicted(t.core, victim)
+		}
+	}
+	if t.dir != nil && e.Space == mem.SpaceCache {
+		t.dir.TLBInserted(t.core, e)
+	}
+	t.insertL1(e)
+}
+
+// insertL1 adds e to the first level; L1 evictions stay resident in L2 so
+// the directory is not notified.
+func (t *TLB) insertL1(e Entry) {
+	t.l1.insert(e)
+}
+
+// Invalidate removes a translation from both levels (TLB shootdown). It
+// reports whether the entry was present.
+func (t *TLB) Invalidate(vpn uint64) bool {
+	_, ok1 := t.l1.invalidate(vpn)
+	e, ok2 := t.l2.invalidate(vpn)
+	if ok2 && t.dir != nil && e.Space == mem.SpaceCache {
+		t.dir.TLBEvicted(t.core, e)
+	}
+	return ok1 || ok2
+}
+
+// Resident reports whether vpn currently has a translation cached.
+func (t *TLB) Resident(vpn uint64) bool {
+	_, ok := t.l2.entries[vpn]
+	return ok
+}

@@ -1,0 +1,197 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nomad/internal/mem"
+	"nomad/internal/sim"
+)
+
+// fakeWalker resolves every vpn to frame = vpn+1000 after a delay, counting
+// walks.
+type fakeWalker struct {
+	eng   *sim.Engine
+	delay uint64
+	walks int
+	space mem.Space
+}
+
+func (w *fakeWalker) Walk(core int, vaddr uint64, done func(Entry)) {
+	w.walks++
+	vpn := mem.PageNum(vaddr)
+	w.eng.Schedule(w.delay, func() {
+		done(Entry{VPN: vpn, Frame: vpn + 1000, Space: w.space})
+	})
+}
+
+type dirLog struct {
+	inserted []uint64
+	evicted  []uint64
+}
+
+func (d *dirLog) TLBInserted(core int, e Entry) { d.inserted = append(d.inserted, e.Frame) }
+func (d *dirLog) TLBEvicted(core int, e Entry)  { d.evicted = append(d.evicted, e.Frame) }
+
+func newTestTLB(eng *sim.Engine, l1, l2 int, space mem.Space) (*TLB, *fakeWalker, *dirLog) {
+	w := &fakeWalker{eng: eng, delay: 100, space: space}
+	d := &dirLog{}
+	return New(eng, 0, Config{L1Entries: l1, L2Entries: l2, L2Latency: 9}, w, d), w, d
+}
+
+func translate(t *testing.T, eng *sim.Engine, tl *TLB, vaddr uint64) Entry {
+	t.Helper()
+	var got *Entry
+	tl.Translate(vaddr, func(e Entry) { got = &e })
+	if !eng.RunUntil(func() bool { return got != nil }, 10000) {
+		t.Fatal("translation never completed")
+	}
+	return *got
+}
+
+func TestL1HitIsSynchronous(t *testing.T) {
+	eng := sim.New()
+	tl, w, _ := newTestTLB(eng, 4, 16, mem.SpaceCache)
+	translate(t, eng, tl, 0x5000)
+	start := eng.Now()
+	sync := false
+	tl.Translate(0x5000, func(Entry) { sync = true })
+	if !sync {
+		t.Fatal("L1 TLB hit was not synchronous")
+	}
+	if eng.Now() != start {
+		t.Fatal("L1 hit advanced time")
+	}
+	if w.walks != 1 {
+		t.Fatalf("walks = %d, want 1", w.walks)
+	}
+	if tl.Stats().L1Hits != 1 {
+		t.Fatalf("stats %+v", tl.Stats())
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	eng := sim.New()
+	tl, _, _ := newTestTLB(eng, 1, 16, mem.SpaceCache)
+	translate(t, eng, tl, 0x1000)
+	translate(t, eng, tl, 0x2000) // evicts 0x1000 from the 1-entry L1
+	start := eng.Now()
+	e := translate(t, eng, tl, 0x1000) // L2 hit
+	if eng.Now()-start != 9 {
+		t.Fatalf("L2 hit latency = %d, want 9", eng.Now()-start)
+	}
+	if e.Frame != 1+1000 {
+		t.Fatalf("frame = %d", e.Frame)
+	}
+	if tl.Stats().L2Hits != 1 {
+		t.Fatalf("stats %+v", tl.Stats())
+	}
+}
+
+func TestWalkCoalescing(t *testing.T) {
+	eng := sim.New()
+	tl, w, _ := newTestTLB(eng, 4, 16, mem.SpaceCache)
+	n := 0
+	tl.Translate(0x7000, func(Entry) { n++ })
+	tl.Translate(0x7040, func(Entry) { n++ }) // same page
+	eng.RunUntil(func() bool { return n == 2 }, 10000)
+	if n != 2 || w.walks != 1 {
+		t.Fatalf("n=%d walks=%d, want 2 walks=1", n, w.walks)
+	}
+	if tl.Stats().Coalesced != 1 {
+		t.Fatalf("coalesced = %d", tl.Stats().Coalesced)
+	}
+}
+
+func TestDirectoryTracksCacheEntries(t *testing.T) {
+	eng := sim.New()
+	tl, _, d := newTestTLB(eng, 2, 2, mem.SpaceCache)
+	translate(t, eng, tl, 0)
+	translate(t, eng, tl, mem.PageSize)
+	if len(d.inserted) != 2 {
+		t.Fatalf("inserted = %v", d.inserted)
+	}
+	// Third entry evicts from the 2-entry (inclusive) L2.
+	translate(t, eng, tl, 2*mem.PageSize)
+	if len(d.evicted) != 1 {
+		t.Fatalf("evicted = %v", d.evicted)
+	}
+}
+
+func TestDirectoryIgnoresPhysicalEntries(t *testing.T) {
+	eng := sim.New()
+	tl, _, d := newTestTLB(eng, 2, 4, mem.SpacePhysical)
+	translate(t, eng, tl, 0)
+	if len(d.inserted) != 0 {
+		t.Fatal("physical-space entry reported to directory")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	eng := sim.New()
+	tl, w, d := newTestTLB(eng, 4, 16, mem.SpaceCache)
+	translate(t, eng, tl, 0x9000)
+	if !tl.Resident(9) {
+		t.Fatal("entry not resident after walk")
+	}
+	if !tl.Invalidate(9) {
+		t.Fatal("Invalidate missed a resident entry")
+	}
+	if tl.Resident(9) {
+		t.Fatal("entry resident after Invalidate")
+	}
+	if len(d.evicted) != 1 {
+		t.Fatalf("directory not notified on invalidate: %v", d.evicted)
+	}
+	translate(t, eng, tl, 0x9000)
+	if w.walks != 2 {
+		t.Fatalf("walks = %d, want 2 after invalidation", w.walks)
+	}
+	if tl.Invalidate(999) {
+		t.Fatal("Invalidate matched a missing entry")
+	}
+}
+
+// TestInclusionProperty: after any access sequence, every L1-resident entry
+// is also L2-resident (the directory relies on L2 inclusivity).
+func TestInclusionProperty(t *testing.T) {
+	f := func(pages []uint8) bool {
+		eng := sim.New()
+		tl, _, _ := newTestTLB(eng, 4, 8, mem.SpaceCache)
+		n := 0
+		for _, p := range pages {
+			tl.Translate(uint64(p)*mem.PageSize, func(Entry) { n++ })
+		}
+		eng.RunUntil(func() bool { return n == len(pages) }, 100000)
+		if n != len(pages) {
+			return false
+		}
+		for vpn := range tl.l1.entries {
+			if _, ok := tl.l2.entries[vpn]; !ok {
+				return false
+			}
+		}
+		return len(tl.l1.entries) <= 4 && len(tl.l2.entries) <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectoryBalanceProperty: inserted events minus evicted events equals
+// current cache-space residency in the L2.
+func TestDirectoryBalanceProperty(t *testing.T) {
+	f := func(pages []uint8) bool {
+		eng := sim.New()
+		tl, _, d := newTestTLB(eng, 2, 4, mem.SpaceCache)
+		n := 0
+		for _, p := range pages {
+			tl.Translate(uint64(p)*mem.PageSize, func(Entry) { n++ })
+		}
+		eng.RunUntil(func() bool { return n == len(pages) }, 100000)
+		return len(d.inserted)-len(d.evicted) == len(tl.l2.entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	spec, _ := ByAbbr("cact")
+	a := NewStream(spec, 42)
+	b := NewStream(spec, 42)
+	for i := 0; i < 10000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverged at op %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	spec, _ := ByAbbr("cact")
+	a := NewStream(spec, 1)
+	b := NewStream(spec, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next().Addr == b.Next().Addr {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced %d/1000 identical addresses", same)
+	}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 15 {
+		t.Fatalf("Table I has %d surrogates, want 15", len(specs))
+	}
+	classCount := map[string]int{}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Abbr] {
+			t.Fatalf("duplicate abbreviation %q", s.Abbr)
+		}
+		seen[s.Abbr] = true
+		classCount[s.Class]++
+		if s.FootprintPages == 0 || s.GapMean <= 0 {
+			t.Fatalf("%s: degenerate spec %+v", s.Abbr, s)
+		}
+		if s.Suite != "SPEC2006" && s.Suite != "GAPBS" {
+			t.Fatalf("%s: unknown suite %q", s.Abbr, s.Suite)
+		}
+		if s.HotFrac+s.WarmFrac >= 1 {
+			t.Fatalf("%s: region fractions leave no stream share", s.Abbr)
+		}
+	}
+	// Paper's class sizes: 3 Excess, 4 Tight, 4 Loose, 4 Few.
+	want := map[string]int{"Excess": 3, "Tight": 4, "Loose": 4, "Few": 4}
+	for c, n := range want {
+		if classCount[c] != n {
+			t.Fatalf("class %s has %d members, want %d", c, classCount[c], n)
+		}
+	}
+}
+
+func TestByAbbrAndClass(t *testing.T) {
+	if _, ok := ByAbbr("cact"); !ok {
+		t.Fatal("cact missing")
+	}
+	if _, ok := ByAbbr("nope"); ok {
+		t.Fatal("found nonexistent workload")
+	}
+	total := 0
+	for _, c := range Classes() {
+		total += len(ByClass(c))
+	}
+	if total != 15 {
+		t.Fatalf("classes cover %d workloads", total)
+	}
+}
+
+func TestRegionBounds(t *testing.T) {
+	spec := Spec{
+		Name: "t", FootprintPages: 100, RunBlocks: 8, SeqPageFrac: 0.5,
+		GapMean: 5, HotPages: 10, HotFrac: 0.2, WarmPages: 20, WarmFrac: 0.3,
+	}
+	s := NewStream(spec, 7)
+	streamEnd := spec.FootprintPages * 4096
+	hotEnd := streamEnd + spec.HotPages*4096
+	warmEnd := hotEnd + spec.WarmPages*4096
+	var sawStream, sawHot, sawWarm bool
+	for i := 0; i < 50000; i++ {
+		op := s.Next()
+		switch {
+		case op.Addr < streamEnd:
+			sawStream = true
+		case op.Addr < hotEnd:
+			sawHot = true
+		case op.Addr < warmEnd:
+			sawWarm = true
+		default:
+			t.Fatalf("address %#x outside all regions", op.Addr)
+		}
+	}
+	if !sawStream || !sawHot || !sawWarm {
+		t.Fatalf("regions unvisited: stream=%v hot=%v warm=%v", sawStream, sawHot, sawWarm)
+	}
+}
+
+func TestRegionFractions(t *testing.T) {
+	spec := Spec{
+		Name: "t", FootprintPages: 1000, RunBlocks: 1, SeqPageFrac: 0.5,
+		GapMean: 5, HotPages: 10, HotFrac: 0.25, WarmPages: 20, WarmFrac: 0.50,
+	}
+	s := NewStream(spec, 3)
+	streamEnd := spec.FootprintPages * 4096
+	hotEnd := streamEnd + spec.HotPages*4096
+	n := 200000
+	hot, warm := 0, 0
+	for i := 0; i < n; i++ {
+		a := s.Next().Addr
+		if a >= streamEnd && a < hotEnd {
+			hot++
+		} else if a >= hotEnd {
+			warm++
+		}
+	}
+	if f := float64(hot) / float64(n); f < 0.22 || f > 0.28 {
+		t.Fatalf("hot fraction %.3f, want ~0.25", f)
+	}
+	if f := float64(warm) / float64(n); f < 0.46 || f > 0.54 {
+		t.Fatalf("warm fraction %.3f, want ~0.50", f)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	s := NewStream(Spec{Name: "t", FootprintPages: 10, RunBlocks: 4, GapMean: 3, WriteFrac: 0.4}, 5)
+	writes := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if s.Next().Write {
+			writes++
+		}
+	}
+	if f := float64(writes) / float64(n); f < 0.37 || f > 0.43 {
+		t.Fatalf("write fraction %.3f, want ~0.4", f)
+	}
+}
+
+func TestSequentialRun(t *testing.T) {
+	s := NewStream(Spec{Name: "t", FootprintPages: 100, RunBlocks: 64, SeqPageFrac: 1, GapMean: 2}, 1)
+	prev := s.Next().Addr
+	for i := 1; i < 64; i++ {
+		cur := s.Next().Addr
+		if cur != prev+64 {
+			t.Fatalf("full-page run broke at block %d: %#x -> %#x", i, prev, cur)
+		}
+		prev = cur
+	}
+	// Next op starts the following page.
+	if next := s.Next().Addr; next != prev+64 {
+		t.Fatalf("sequential page advance broken: %#x -> %#x", prev, next)
+	}
+}
+
+func TestBurstChangesGaps(t *testing.T) {
+	spec := Spec{
+		Name: "t", FootprintPages: 100, RunBlocks: 64, SeqPageFrac: 1, GapMean: 10,
+		BurstPeriodOps: 1000, BurstDuty: 0.5, QuietGapMult: 10,
+	}
+	s := NewStream(spec, 1)
+	var burstGap, quietGap uint64
+	for i := 0; i < 1000; i++ {
+		op := s.Next()
+		if i < 450 {
+			burstGap += op.Gap
+		} else if i >= 550 {
+			quietGap += op.Gap
+		}
+	}
+	if quietGap < burstGap*4 {
+		t.Fatalf("quiet phase gaps (%d) should dwarf burst phase (%d)", quietGap, burstGap)
+	}
+}
+
+func TestGapMean(t *testing.T) {
+	s := NewStream(Spec{Name: "t", FootprintPages: 10, RunBlocks: 4, GapMean: 20}, 9)
+	var sum uint64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += s.Next().Gap
+	}
+	avg := float64(sum) / float64(n)
+	if avg < 18 || avg > 22 {
+		t.Fatalf("mean gap %.2f, want ~20", avg)
+	}
+}
+
+// TestStreamAlwaysValid: any spec (within sane bounds) produces block-aligned
+// addresses inside its regions with the requested gap scale.
+func TestStreamAlwaysValid(t *testing.T) {
+	f := func(fp uint16, run uint8, gap uint8, hotP, warmP uint8, hotF, warmF float64, seed uint64) bool {
+		spec := Spec{
+			Name:           "q",
+			FootprintPages: uint64(fp%2048) + 1,
+			RunBlocks:      int(run % 70), // NewStream clamps to 1..64
+			GapMean:        int(gap%50) + 1,
+			SeqPageFrac:    0.5,
+			HotPages:       uint64(hotP),
+			WarmPages:      uint64(warmP),
+			HotFrac:        clamp01(hotF) * 0.4,
+			WarmFrac:       clamp01(warmF) * 0.4,
+		}
+		s := NewStream(spec, seed)
+		limit := (s.Spec().FootprintPages + spec.HotPages + spec.WarmPages) * 4096
+		for i := 0; i < 2000; i++ {
+			op := s.Next()
+			if op.Addr%64 != 0 {
+				return false
+			}
+			if op.Addr >= limit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp01(f float64) float64 {
+	if f != f || f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,237 @@
+// Package nomad is a from-scratch Go reproduction of "NOMAD: Enabling
+// Non-blocking OS-managed DRAM Cache via Tag-Data Decoupling" (HPCA 2023).
+//
+// It bundles a deterministic cycle-level simulation of a chip multiprocessor
+// with a heterogeneous memory system — out-of-order cores, SRAM cache
+// hierarchy, TLBs, on-package HBM and off-package DDR4 timing models, and an
+// OS memory-management substrate — together with five DRAM-cache schemes:
+//
+//   - Baseline: off-package memory only (lower bound);
+//   - TiD: hardware-managed tags-in-DRAM cache (Unison-style);
+//   - TDC: blocking OS-managed tagless DRAM cache;
+//   - NOMAD: the paper's non-blocking OS-managed cache (front-end OS
+//     routines + PCSHR back-end hardware);
+//   - Ideal: zero-penalty OS-managed cache (upper bound).
+//
+// Quick start:
+//
+//	w, _ := nomad.WorkloadByAbbr("cact")
+//	res, err := nomad.Run(nomad.Config{Scheme: nomad.SchemeNOMAD}, w)
+//	if err != nil { ... }
+//	fmt.Println(res.IPC, res.OSStallRatio)
+//
+// The full evaluation (every table and figure of the paper) is reachable
+// through Experiments / RunExperiment and the cmd/experiments CLI.
+package nomad
+
+import (
+	"fmt"
+
+	"nomad/internal/system"
+	"nomad/internal/workload"
+)
+
+// Scheme selects the memory-system design under test.
+type Scheme string
+
+// The five schemes of the paper's evaluation (§IV-A).
+const (
+	SchemeBaseline Scheme = "Baseline"
+	SchemeTiD      Scheme = "TiD"
+	SchemeTDC      Scheme = "TDC"
+	SchemeNOMAD    Scheme = "NOMAD"
+	SchemeIdeal    Scheme = "Ideal"
+)
+
+// Schemes returns all schemes in the paper's presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeBaseline, SchemeTiD, SchemeTDC, SchemeNOMAD, SchemeIdeal}
+}
+
+// Config parameterises a simulation. The zero value (plus a Scheme) selects
+// the paper's evaluation configuration at the scaled capacities documented
+// in DESIGN.md.
+type Config struct {
+	// Scheme under test; defaults to NOMAD.
+	Scheme Scheme
+	// Cores in the chip multiprocessor; defaults to 8.
+	Cores int
+	// PCSHRs in the NOMAD back-end; defaults to 16.
+	PCSHRs int
+	// CopyBuffers in the NOMAD back-end; 0 pairs one buffer per PCSHR.
+	// Fewer buffers than PCSHRs selects the area-optimized design.
+	CopyBuffers int
+	// DistributedBackends partitions the back-end per HBM channel.
+	DistributedBackends bool
+	// TagMgmtLatency is the NOMAD tag-miss handler critical-section
+	// occupancy in cycles; defaults to the paper's conservative 400.
+	TagMgmtLatency uint64
+	// VerifyLatency adds cycles to every DC access for the PCSHR lookup
+	// (0 per the paper's CACTI analysis; set 1 for the sensitivity study).
+	VerifyLatency uint64
+	// CacheTouchThreshold enables selective caching for OS-managed
+	// schemes: a page is cached only on its Nth uncached page-table walk.
+	// 0 or 1 caches on first touch (the paper's default).
+	CacheTouchThreshold uint64
+	// WarmupInstructions / ROIInstructions are per-core retirement
+	// targets; zero selects the defaults.
+	WarmupInstructions uint64
+	ROIInstructions    uint64
+	// Seed perturbs workload address streams deterministically.
+	Seed uint64
+}
+
+func (c Config) toInternal() system.Config {
+	cfg := system.DefaultConfig()
+	if c.Scheme != "" {
+		cfg.Scheme = system.SchemeName(c.Scheme)
+	}
+	if c.Cores > 0 {
+		cfg.Cores = c.Cores
+	}
+	if c.PCSHRs > 0 {
+		cfg.Backend.PCSHRs = c.PCSHRs
+	}
+	if c.CopyBuffers > 0 {
+		cfg.Backend.CopyBuffers = c.CopyBuffers
+	}
+	cfg.Backend.Distributed = c.DistributedBackends
+	if c.TagMgmtLatency > 0 {
+		cfg.Frontend.TagMgmtLatency = c.TagMgmtLatency
+	}
+	cfg.Backend.VerifyLatency = c.VerifyLatency
+	cfg.Frontend.CacheTouchThreshold = c.CacheTouchThreshold
+	if c.WarmupInstructions > 0 {
+		cfg.WarmupInstructions = c.WarmupInstructions
+	}
+	if c.ROIInstructions > 0 {
+		cfg.ROIInstructions = c.ROIInstructions
+	}
+	if c.Seed > 0 {
+		cfg.Seed = c.Seed
+	}
+	return cfg
+}
+
+// Workload is one benchmark surrogate (Table I) or a custom stream
+// definition.
+type Workload struct {
+	spec workload.Spec
+}
+
+// Name returns the full benchmark name (e.g. "cactusADM").
+func (w Workload) Name() string { return w.spec.Name }
+
+// Abbr returns the Table I abbreviation (e.g. "cact").
+func (w Workload) Abbr() string { return w.spec.Abbr }
+
+// Class returns the RMHB class: Excess, Tight, Loose, or Few.
+func (w Workload) Class() string { return w.spec.Class }
+
+// Suite returns the source suite (SPEC2006 or GAPBS).
+func (w Workload) Suite() string { return w.spec.Suite }
+
+// FootprintBytes returns the per-core streamed footprint.
+func (w Workload) FootprintBytes() uint64 { return w.spec.FootprintBytes() }
+
+// Workloads returns the fifteen Table I benchmark surrogates.
+func Workloads() []Workload {
+	specs := workload.Specs()
+	out := make([]Workload, len(specs))
+	for i, s := range specs {
+		out[i] = Workload{spec: s}
+	}
+	return out
+}
+
+// WorkloadByAbbr looks a surrogate up by its Table I abbreviation.
+func WorkloadByAbbr(abbr string) (Workload, error) {
+	s, ok := workload.ByAbbr(abbr)
+	if !ok {
+		return Workload{}, fmt.Errorf("nomad: unknown workload %q", abbr)
+	}
+	return Workload{spec: s}, nil
+}
+
+// WorkloadClasses returns the class names in paper order.
+func WorkloadClasses() []string { return workload.Classes() }
+
+// WorkloadsByClass returns the surrogates of one class.
+func WorkloadsByClass(class string) []Workload {
+	specs := workload.ByClass(class)
+	out := make([]Workload, len(specs))
+	for i, s := range specs {
+		out[i] = Workload{spec: s}
+	}
+	return out
+}
+
+// CustomSpec defines a synthetic workload through the generator's knobs.
+// See the field documentation in DESIGN.md; all rates are per core.
+type CustomSpec struct {
+	Name string
+	// FootprintPages is the streamed region in 4 KB pages.
+	FootprintPages uint64
+	// RunBlocks is the number of sequential 64 B blocks touched per page
+	// visit (1..64); it sets spatial locality.
+	RunBlocks int
+	// SeqPageFrac is the probability the next page follows sequentially.
+	SeqPageFrac float64
+	// GapMean is the mean non-memory instruction count between memory
+	// operations.
+	GapMean int
+	// WriteFrac is the store fraction.
+	WriteFrac float64
+	// HotPages/HotFrac define an LLC-resident reuse set.
+	HotPages uint64
+	HotFrac  float64
+	// WarmPages/WarmFrac define a DC-resident (LLC-missing) reuse set.
+	WarmPages uint64
+	WarmFrac  float64
+	// BurstPeriodOps/BurstDuty/QuietGapMult introduce phase behaviour.
+	BurstPeriodOps uint64
+	BurstDuty      float64
+	QuietGapMult   int
+	// MLP caps effective memory-level parallelism below the hardware
+	// limit (dependence chains); 0 uses the core's limit.
+	MLP int
+}
+
+// NewWorkload builds a custom workload from a CustomSpec.
+func NewWorkload(cs CustomSpec) Workload {
+	name := cs.Name
+	if name == "" {
+		name = "custom"
+	}
+	return Workload{spec: workload.Spec{
+		Name: name, Abbr: name, Class: "Custom", Suite: "custom",
+		FootprintPages: cs.FootprintPages,
+		RunBlocks:      cs.RunBlocks,
+		SeqPageFrac:    cs.SeqPageFrac,
+		GapMean:        cs.GapMean,
+		WriteFrac:      cs.WriteFrac,
+		HotPages:       cs.HotPages,
+		HotFrac:        cs.HotFrac,
+		WarmPages:      cs.WarmPages,
+		WarmFrac:       cs.WarmFrac,
+		BurstPeriodOps: cs.BurstPeriodOps,
+		BurstDuty:      cs.BurstDuty,
+		QuietGapMult:   cs.QuietGapMult,
+		MLP:            cs.MLP,
+	}}
+}
+
+// Run simulates one (configuration, workload) pair: warmup, then a measured
+// region of interest. It is deterministic for fixed inputs and safe to call
+// from multiple goroutines concurrently (each call builds its own machine).
+func Run(cfg Config, w Workload) (*Result, error) {
+	m, err := system.New(cfg.toInternal(), w.spec)
+	if err != nil {
+		return nil, err
+	}
+	r, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(r), nil
+}

@@ -1,0 +1,136 @@
+package nomad
+
+import (
+	"fmt"
+
+	"nomad/internal/mem"
+	"nomad/internal/system"
+)
+
+// BandwidthKind categorizes DRAM traffic in bandwidth breakdowns (Fig. 10).
+type BandwidthKind int
+
+// Traffic categories.
+const (
+	TrafficDemand BandwidthKind = iota
+	TrafficMetadata
+	TrafficFill
+	TrafficWriteback
+	TrafficWalk
+	numTraffic
+)
+
+func (k BandwidthKind) String() string { return mem.Kind(k).String() }
+
+// Result holds the measurements of one simulation's region of interest.
+// Rates use the 3.2 GHz clock.
+type Result struct {
+	Scheme   Scheme
+	Workload string
+	Cores    int
+
+	// Cycles and Seconds are the length of the measured region.
+	Cycles  uint64
+	Seconds float64
+	// Instructions retired across all cores during the region.
+	Instructions uint64
+	// IPC is system throughput (instructions per cycle, all cores).
+	IPC float64
+
+	// OSStallRatio is the average fraction of cycles threads spent
+	// suspended by OS routines — the paper's "application stall cycles".
+	OSStallRatio float64
+	// MemStallRatio is the fraction of cycles retirement was blocked by
+	// an incomplete load at the ROB head.
+	MemStallRatio float64
+
+	// AvgDCAccessTime is the mean post-LLC read latency at the DRAM
+	// cache controller, in cycles (Fig. 9, bottom).
+	AvgDCAccessTime float64
+
+	// LLCMisses and LLCMPMS (misses per microsecond) characterize
+	// memory intensity (Table I).
+	LLCMisses uint64
+	LLCMPMS   float64
+
+	// RMHBGBs is the miss-handling bandwidth: for Ideal, the fills that
+	// would have been required (Table I's RMHB); otherwise the fill
+	// traffic actually read from off-package memory.
+	RMHBGBs float64
+
+	// HBMBandwidthGBs / OffPkgBandwidthGBs are total consumed bandwidths;
+	// HBMBreakdownGBs splits on-package traffic by category (Fig. 10).
+	HBMBandwidthGBs    float64
+	OffPkgBandwidthGBs float64
+	HBMBreakdownGBs    [5]float64
+	HBMRowHitRate      float64
+	HBMUtilization     float64
+	DDRUtilization     float64
+
+	// Tag management (OS-managed schemes, Figs. 11/14/15/16).
+	TagMisses         uint64
+	AvgTagMgmtLatency float64
+	MaxTagMgmtLatency uint64
+
+	// NOMAD back-end behaviour (§IV-B.5).
+	DataHits          uint64
+	DataMisses        uint64
+	BufferHitRate     float64
+	SubEntryOverflows uint64
+
+	Evictions      uint64
+	DirtyEvictions uint64
+}
+
+// Breakdown returns the on-package bandwidth of one traffic category.
+func (r *Result) Breakdown(k BandwidthKind) float64 {
+	if k < 0 || k >= numTraffic {
+		return 0
+	}
+	return r.HBMBreakdownGBs[k]
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: IPC=%.3f dcAccess=%.1fcyc osStall=%.1f%% tagLat=%.0fcyc hbm=%.1fGB/s offpkg=%.1fGB/s",
+		r.Scheme, r.Workload, r.IPC, r.AvgDCAccessTime, 100*r.OSStallRatio,
+		r.AvgTagMgmtLatency, r.HBMBandwidthGBs, r.OffPkgBandwidthGBs)
+}
+
+func fromInternal(r *system.Result) *Result {
+	out := &Result{
+		Scheme:             Scheme(r.Scheme),
+		Workload:           r.Workload,
+		Cores:              r.Cores,
+		Cycles:             r.Cycles,
+		Seconds:            r.Seconds,
+		Instructions:       r.Instructions,
+		IPC:                r.IPC,
+		OSStallRatio:       r.OSStallRatio,
+		MemStallRatio:      r.MemStallRatio,
+		AvgDCAccessTime:    r.AvgDCAccessTime,
+		LLCMisses:          r.LLCMisses,
+		LLCMPMS:            r.LLCMPMS,
+		RMHBGBs:            r.RMHBGBs,
+		HBMBandwidthGBs:    r.HBMGBs,
+		OffPkgBandwidthGBs: r.OffPkgGBs,
+		HBMRowHitRate:      r.HBMRowHitRate,
+		HBMUtilization:     r.HBMUtilization,
+		DDRUtilization:     r.DDRUtilization,
+		TagMisses:          r.TagMisses,
+		AvgTagMgmtLatency:  r.AvgTagMgmtLatency,
+		MaxTagMgmtLatency:  r.MaxTagMgmtLatency,
+		DataHits:           r.DataHits,
+		DataMisses:         r.DataMisses,
+		BufferHitRate:      r.BufferHitRate,
+		SubEntryOverflows:  r.SubEntryOverflows,
+		Evictions:          r.Evictions,
+		DirtyEvictions:     r.DirtyEvictions,
+	}
+	if r.Seconds > 0 {
+		for k := 0; k < mem.NumKinds; k++ {
+			out.HBMBreakdownGBs[k] = float64(r.HBMBytesByKind[k]) / r.Seconds / 1e9
+		}
+	}
+	return out
+}
