@@ -2,20 +2,35 @@
 //
 // Usage:
 //
-//	experiments -run table1          # one artifact
-//	experiments -run fig9,fig11      # several
-//	experiments -run all             # the whole evaluation
-//	experiments -list                # show what is available
+//	experiments -run table1            # one artifact
+//	experiments -run fig9,fig11        # several
+//	experiments -run all               # the whole evaluation
+//	experiments -list                  # show what is available
+//	experiments -run fig9 -format json # machine-readable output
 //
-// Output is a text rendering of each table/figure. -fast trades precision
-// for speed (short warmup/ROI), useful for smoke checks.
+// -format selects the rendering: "text" (default) prints each table/figure
+// as in the paper; "json" emits one JSON array of structured reports —
+// sections plus every underlying run's full metrics snapshot — and is
+// byte-identical across same-seed invocations; "csv" flattens every table
+// row, prefixed by experiment ID and section index. Progress and timing go
+// to stderr in the machine-readable formats so stdout stays parseable.
+//
+// -fast trades precision for speed (short warmup/ROI), useful for smoke
+// checks. Interrupting (Ctrl-C) cancels in-flight simulations at their next
+// sampling window.
 package main
 
 import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,7 +46,8 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		fast     = flag.Bool("fast", false, "short warmup/ROI (quick, less precise)")
 		parallel = flag.Int("p", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		verbose  = flag.Bool("v", false, "print each run's summary line")
+		verbose  = flag.Bool("v", false, "print each run's summary line (to stderr)")
+		format   = flag.String("format", "text", "output format: text, json, or csv")
 	)
 	flag.Parse()
 
@@ -41,8 +57,15 @@ func main() {
 		}
 		return
 	}
+	if *format != "text" && *format != "json" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q; use text, json, or csv\n", *format)
+		os.Exit(2)
+	}
 
-	opts := harness.Options{Fast: *fast, Parallelism: *parallel, Verbose: *verbose}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := harness.Options{Fast: *fast, Parallelism: *parallel, Verbose: *verbose, Log: os.Stderr}
 	var exps []harness.Experiment
 	if *runIDs == "all" {
 		exps = harness.All()
@@ -57,13 +80,65 @@ func main() {
 		}
 	}
 
+	var reports []*harness.Report
 	for _, e := range exps {
 		start := time.Now()
-		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-		if err := e.Run(opts, os.Stdout); err != nil {
+		if *format == "text" {
+			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		}
+		rep, err := e.Run(ctx, opts)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start).Round(time.Millisecond)
+		switch *format {
+		case "text":
+			if err := rep.WriteText(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, elapsed)
+		case "csv":
+			if err := writeCSV(os.Stdout, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, elapsed)
+		case "json":
+			reports = append(reports, rep)
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, elapsed)
+		}
 	}
+
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "encode: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSV flattens every table of the report: each table emits its header
+// and rows, all prefixed with the experiment ID and section index so several
+// tables (and experiments) concatenate into one parseable stream.
+func writeCSV(w io.Writer, rep *harness.Report) error {
+	cw := csv.NewWriter(w)
+	for si, sec := range rep.Sections {
+		if sec.Table == nil {
+			continue
+		}
+		if err := cw.Write(append([]string{"experiment", "section"}, sec.Table.Header...)); err != nil {
+			return err
+		}
+		for _, row := range sec.Table.Rows {
+			if err := cw.Write(append([]string{rep.ID, strconv.Itoa(si)}, row...)); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

@@ -1,6 +1,7 @@
 package nomad
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,8 +20,11 @@ type ExperimentOptions struct {
 	Fast bool
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
-	// Verbose prints each run's summary line as it completes.
+	// Verbose emits each run's summary line to Log.
 	Verbose bool
+	// Log receives verbose progress output. Nil discards it, except under
+	// RunExperiment, which defaults Log to its output writer.
+	Log io.Writer
 }
 
 // Experiments lists every reproducible table and figure.
@@ -33,16 +37,88 @@ func Experiments() []ExperimentInfo {
 	return out
 }
 
-// RunExperiment regenerates one paper artifact, writing its text rendering
-// to w.
-func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
+// ExperimentResult is the structured output of one experiment: the sections
+// the paper artifact prints, plus every underlying simulation Result keyed by
+// run key. WriteText renders the traditional text form.
+type ExperimentResult struct {
+	ID       string
+	Title    string
+	Sections []ExperimentSection
+	// Runs holds the per-simulation results the sections were derived
+	// from, each carrying its full metrics snapshot. Analysis-only
+	// experiments leave it empty.
+	Runs map[string]*Result
+
+	rep *harness.Report
+}
+
+// ExperimentSection is one block of an experiment's output: commentary lines
+// followed by an optional table.
+type ExperimentSection struct {
+	Notes []string
+	Table *ExperimentTable
+}
+
+// ExperimentTable is one table of an experiment's output, already formatted
+// to the precision the text rendering prints.
+type ExperimentTable struct {
+	Header []string
+	Rows   [][]string
+}
+
+// WriteText renders the experiment in its traditional text form.
+func (r *ExperimentResult) WriteText(w io.Writer) error { return r.rep.WriteText(w) }
+
+// RunExperimentResult regenerates one paper artifact and returns it in
+// structured form. Cancelling ctx stops queued simulations before they start
+// and in-flight ones at their next sampling window;
+// errors.Is(err, context.Canceled) then holds.
+func RunExperimentResult(ctx context.Context, id string, opts ExperimentOptions) (*ExperimentResult, error) {
 	e, ok := harness.Get(id)
 	if !ok {
-		return fmt.Errorf("nomad: unknown experiment %q", id)
+		return nil, fmt.Errorf("nomad: unknown experiment %q", id)
 	}
-	return e.Run(harness.Options{
+	rep, err := e.Run(ctx, harness.Options{
 		Fast:        opts.Fast,
 		Parallelism: opts.Parallelism,
 		Verbose:     opts.Verbose,
-	}, w)
+		Log:         opts.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromReport(rep), nil
+}
+
+// RunExperiment regenerates one paper artifact, writing its text rendering
+// to w. It is retained for compatibility; new code should prefer
+// RunExperimentResult, which adds cancellation and structured access to the
+// rows and the underlying runs.
+func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
+	if opts.Verbose && opts.Log == nil {
+		opts.Log = w
+	}
+	res, err := RunExperimentResult(context.Background(), id, opts)
+	if err != nil {
+		return err
+	}
+	return res.WriteText(w)
+}
+
+func fromReport(rep *harness.Report) *ExperimentResult {
+	out := &ExperimentResult{ID: rep.ID, Title: rep.Title, rep: rep}
+	for _, sec := range rep.Sections {
+		s := ExperimentSection{Notes: sec.Notes}
+		if sec.Table != nil {
+			s.Table = &ExperimentTable{Header: sec.Table.Header, Rows: sec.Table.Rows}
+		}
+		out.Sections = append(out.Sections, s)
+	}
+	if len(rep.Runs) > 0 {
+		out.Runs = make(map[string]*Result, len(rep.Runs))
+		for k, r := range rep.Runs {
+			out.Runs[k] = fromInternal(r)
+		}
+	}
+	return out
 }

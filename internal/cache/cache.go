@@ -13,6 +13,7 @@ import (
 	"math/bits"
 
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/sim"
 )
 
@@ -94,6 +95,9 @@ type Cache struct {
 	pending []pendingAccess
 	lruTick uint64
 	stats   Stats
+	// mshrOcc samples MSHR occupancy at each allocation (nil until
+	// RegisterMetrics; Observe on nil is a no-op).
+	mshrOcc *metrics.Histogram
 
 	setMask  uint64
 	setShift uint
@@ -133,6 +137,21 @@ func New(eng *sim.Engine, cfg Config, lower Lower) *Cache {
 
 // Stats returns the level's counters.
 func (c *Cache) Stats() *Stats { return &c.stats }
+
+// RegisterMetrics exposes the level's counters in reg under prefix (e.g.
+// "cache.llc" or "cache.l1.3") plus an MSHR-occupancy histogram sampled at
+// each miss allocation.
+func (c *Cache) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	s := &c.stats
+	reg.CounterFunc(prefix+".hits", func() uint64 { return s.Hits })
+	reg.CounterFunc(prefix+".misses", func() uint64 { return s.Misses })
+	reg.CounterFunc(prefix+".writebacks", func() uint64 { return s.Writebacks })
+	reg.CounterFunc(prefix+".coalesced", func() uint64 { return s.Coalesced })
+	reg.CounterFunc(prefix+".mshr_stalls", func() uint64 { return s.MSHRStalls })
+	reg.CounterFunc(prefix+".flushed_lines", func() uint64 { return s.FlushedLines })
+	reg.CounterFunc(prefix+".flush_writebacks", func() uint64 { return s.FlushWBs })
+	c.mshrOcc = reg.Histogram(prefix + ".mshr_occupancy")
+}
 
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }
@@ -197,6 +216,7 @@ func (c *Cache) miss(req mem.Request, block uint64, done mem.Done, retried bool)
 	m := &mshr{block: block, write: req.Write}
 	m.waiters = append(m.waiters, waiter{write: req.Write, done: done})
 	c.mshrs[block] = m
+	c.mshrOcc.Observe(uint64(len(c.mshrs)))
 
 	fill := req
 	fill.Addr = mem.BlockAligned(req.Addr)

@@ -13,6 +13,7 @@ import (
 
 	"nomad/internal/dram"
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/sim"
 )
 
@@ -176,6 +177,7 @@ type pendingCmd struct {
 type group struct {
 	regs     []*pcshr
 	freeBufs int
+	bufs     int // total buffers in the group
 	// fillQueue has acceptance priority over wbQueue: a waiting cache
 	// fill is on an application thread's critical path (inside the tag
 	// miss handler), while writebacks are background work.
@@ -199,6 +201,12 @@ type Backend struct {
 	// accesses racing a writeback are serviced coherently.
 	byPFN map[uint64]*pcshr
 	stats BackendStats
+	// pcshrOcc samples register occupancy at each acceptance; bufInUse
+	// samples buffers in use at each buffer grant (nil until
+	// RegisterMetrics). trace records the PCSHR and fill lifecycle.
+	pcshrOcc *metrics.Histogram
+	bufInUse *metrics.Histogram
+	trace    *metrics.Trace
 	// onComplete, if set, is called when any command completes (tests).
 	onComplete func(Command)
 }
@@ -237,12 +245,35 @@ func NewBackend(eng *sim.Engine, cfg BackendConfig, hbm, ddr *dram.Device) *Back
 			b.groups[g].regs[i] = &pcshr{group: g}
 		}
 		b.groups[g].freeBufs = bufPer
+		b.groups[g].bufs = bufPer
 	}
 	return b
 }
 
 // Stats returns the back-end counters.
 func (b *Backend) Stats() *BackendStats { return &b.stats }
+
+// RegisterMetrics exposes the back-end counters in reg under prefix
+// (conventionally "backend") plus PCSHR- and buffer-occupancy histograms,
+// and attaches the trace for PCSHR/fill lifecycle events.
+func (b *Backend) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	s := &b.stats
+	reg.CounterFunc(prefix+".fills", func() uint64 { return s.Fills })
+	reg.CounterFunc(prefix+".writebacks", func() uint64 { return s.Writebacks })
+	reg.CounterFunc(prefix+".data_hits", func() uint64 { return s.DataHits })
+	reg.CounterFunc(prefix+".data_misses", func() uint64 { return s.DataMisses })
+	reg.CounterFunc(prefix+".buffer_hits", func() uint64 { return s.BufferHits })
+	reg.CounterFunc(prefix+".sub_entry_waits", func() uint64 { return s.SubEntryWaits })
+	reg.CounterFunc(prefix+".sub_entry_overflows", func() uint64 { return s.SubEntryOverflows })
+	reg.CounterFunc(prefix+".write_miss_absorbed", func() uint64 { return s.WriteMissAbsorbed })
+	reg.CounterFunc(prefix+".accept_wait_sum", func() uint64 { return s.AcceptWaitSum })
+	reg.CounterFunc(prefix+".accept_count", func() uint64 { return s.AcceptCount })
+	reg.CounterFunc(prefix+".buffer_wait_sum", func() uint64 { return s.BufferWaitSum })
+	reg.SeriesFunc(prefix+".active_pcshrs", func(now uint64) float64 { return float64(b.ActivePCSHRs()) })
+	b.pcshrOcc = reg.Histogram(prefix + ".pcshr_occupancy")
+	b.bufInUse = reg.Histogram(prefix + ".buffer_in_use")
+	b.trace = reg.Trace()
+}
 
 // Config returns the normalized configuration.
 func (b *Backend) Config() BackendConfig { return b.cfg }
@@ -292,6 +323,7 @@ func (b *Backend) drainCommands(g *group) {
 		b.stats.AcceptWaitSum += b.eng.Now() - pc.arrival
 		b.stats.AcceptCount++
 		b.stats.PCSHROccupancySum += uint64(occupied)
+		b.pcshrOcc.Observe(uint64(occupied))
 		b.allocate(free, pc.cmd)
 		if pc.done != nil {
 			pc.done()
@@ -301,6 +333,7 @@ func (b *Backend) drainCommands(g *group) {
 
 func (b *Backend) allocate(r *pcshr, cmd Command) {
 	*r = pcshr{valid: true, cmd: cmd, group: r.group, epoch: r.epoch + 1}
+	b.trace.Emit(b.eng.Now(), metrics.EvPCSHRAlloc, cmd.CFN, cmd.PFN)
 	if cmd.Type == CmdFill {
 		b.stats.Fills++
 		if !b.cfg.NoCriticalFirst {
@@ -318,6 +351,7 @@ func (b *Backend) allocate(r *pcshr, cmd Command) {
 	g := &b.groups[r.group]
 	if g.freeBufs > 0 {
 		g.freeBufs--
+		b.bufInUse.Observe(uint64(g.bufs - g.freeBufs))
 		b.start(r)
 	} else {
 		r.bufWaitAt = b.eng.Now()
@@ -327,6 +361,9 @@ func (b *Backend) allocate(r *pcshr, cmd Command) {
 
 func (b *Backend) start(r *pcshr) {
 	r.started = true
+	if r.cmd.Type == CmdFill {
+		b.trace.Emit(b.eng.Now(), metrics.EvFillStart, r.cmd.CFN, r.cmd.PFN)
+	}
 	b.issueReads(r)
 }
 
@@ -423,7 +460,9 @@ func (b *Backend) writeDone(r *pcshr, epoch uint64) {
 
 func (b *Backend) complete(r *pcshr) {
 	cmd := r.cmd
+	b.trace.Emit(b.eng.Now(), metrics.EvPCSHRRetire, cmd.CFN, cmd.PFN)
 	if cmd.Type == CmdFill {
+		b.trace.Emit(b.eng.Now(), metrics.EvFillDone, cmd.CFN, cmd.PFN)
 		delete(b.byCFN, cmd.CFN)
 	} else {
 		delete(b.byPFN, cmd.PFN)
@@ -557,6 +596,7 @@ func (b *Backend) CheckCacheAccess(cfn uint64, si uint, write bool, done mem.Don
 	se := subEntry{si: si, done: done}
 	if len(r.subs) >= b.cfg.SubEntries {
 		b.stats.SubEntryOverflows++
+		b.trace.Emit(b.eng.Now(), metrics.EvPCSHROverflow, cfn, uint64(si))
 		r.overflow = append(r.overflow, se)
 		return Parked
 	}
@@ -596,6 +636,7 @@ func (b *Backend) CheckPhysicalAccess(pfn uint64, si uint, write bool, done mem.
 	se := subEntry{si: si, done: done}
 	if len(r.subs) >= b.cfg.SubEntries {
 		b.stats.SubEntryOverflows++
+		b.trace.Emit(b.eng.Now(), metrics.EvPCSHROverflow, pfn, uint64(si))
 		r.overflow = append(r.overflow, se)
 		return Parked
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/osmem"
 	"nomad/internal/sim"
 	"nomad/internal/tlb"
@@ -175,6 +176,10 @@ type Frontend struct {
 	mu            mutexSim
 	daemonRunning bool
 	stats         FrontendStats
+	// tagLat observes each tag miss handler's arrival-to-resume latency
+	// (nil until RegisterMetrics); trace records begin/end events.
+	tagLat *metrics.Histogram
+	trace  *metrics.Trace
 }
 
 // SetShootdowner wires the TLB shootdown fallback (optional; without it,
@@ -206,6 +211,29 @@ func NewFrontend(eng *sim.Engine, cfg FrontendConfig, mm *osmem.Manager, threads
 
 // Stats returns the front-end counters.
 func (f *Frontend) Stats() *FrontendStats { return &f.stats }
+
+// RegisterMetrics exposes the OS-routine counters in reg under prefix
+// (conventionally "os") plus a tag-management latency histogram, and
+// attaches the trace for tag-miss begin/end events.
+func (f *Frontend) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	s := &f.stats
+	reg.CounterFunc(prefix+".tag_hits", func() uint64 { return s.TagHits })
+	reg.CounterFunc(prefix+".tag_misses", func() uint64 { return s.TagMisses })
+	reg.CounterFunc(prefix+".uncacheable", func() uint64 { return s.Uncacheable })
+	reg.CounterFunc(prefix+".tag_mgmt_latency_sum", func() uint64 { return s.TagMgmtLatencySum })
+	reg.GaugeFunc(prefix+".tag_mgmt_latency_max", func() float64 { return float64(s.TagMgmtLatencyMax) })
+	reg.CounterFunc(prefix+".mutex_wait_sum", func() uint64 { return s.MutexWaitSum })
+	reg.CounterFunc(prefix+".daemon_runs", func() uint64 { return s.DaemonRuns })
+	reg.CounterFunc(prefix+".evictions", func() uint64 { return s.Evictions })
+	reg.CounterFunc(prefix+".dirty_evictions", func() uint64 { return s.DirtyEvictions })
+	reg.CounterFunc(prefix+".tlb_skips", func() uint64 { return s.TLBSkips })
+	reg.CounterFunc(prefix+".direct_reclaims", func() uint64 { return s.DirectReclaims })
+	reg.CounterFunc(prefix+".selective_bypasses", func() uint64 { return s.SelectiveBypasses })
+	reg.CounterFunc(prefix+".forced_shootdowns", func() uint64 { return s.ForcedShootdowns })
+	reg.GaugeFunc(prefix+".free_frames", func() float64 { return float64(f.mm.FreeFrames()) })
+	f.tagLat = reg.Histogram(prefix + ".tag_mgmt_latency")
+	f.trace = reg.Trace()
+}
 
 // Manager exposes the underlying OS memory state.
 func (f *Frontend) Manager() *osmem.Manager { return f.mm }
@@ -254,6 +282,7 @@ func (f *Frontend) shouldCache(pte *osmem.PTE) bool {
 func (f *Frontend) tagMiss(coreID int, vpn, offset uint64, pte *osmem.PTE, done func(tlb.Entry)) {
 	f.stats.TagMisses++
 	arrival := f.eng.Now()
+	f.trace.Emit(arrival, metrics.EvTagMissBegin, vpn, uint64(coreID))
 	thread := f.threads[coreID]
 	thread.Block()
 	f.mu.lock(func(unlock func()) {
@@ -282,6 +311,8 @@ func (f *Frontend) tagMiss(coreID int, vpn, offset uint64, pte *osmem.PTE, done 
 				if lat > f.stats.TagMgmtLatencyMax {
 					f.stats.TagMgmtLatencyMax = lat
 				}
+				f.tagLat.Observe(lat)
+				f.trace.Emit(end, metrics.EvTagMissEnd, vpn, lat)
 				thread.Unblock()
 				unlock()
 				done(tlb.Entry{VPN: vpn, Frame: cfn, Space: mem.SpaceCache})

@@ -25,6 +25,7 @@ import (
 	"math/bits"
 
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/sim"
 )
 
@@ -132,6 +133,11 @@ type request struct {
 type bank struct {
 	openRow int64 // -1 = closed
 	readyAt uint64
+	// Per-bank row-buffer outcomes (Fig. 10's locality analysis at bank
+	// granularity; exposed through the metrics registry).
+	rowHits      uint64
+	rowMisses    uint64
+	rowConflicts uint64
 }
 
 type channel struct {
@@ -148,6 +154,7 @@ type Device struct {
 	eng   *sim.Engine
 	chans []channel
 	stats Stats
+	trace *metrics.Trace
 
 	chanShift    uint
 	chanMask     uint64
@@ -187,6 +194,40 @@ func (d *Device) Config() Config { return d.cfg }
 
 // Stats returns a pointer to the device's counters.
 func (d *Device) Stats() *Stats { return &d.stats }
+
+// SetTrace attaches an event trace (row-conflict events). Nil disables.
+func (d *Device) SetTrace(t *metrics.Trace) { d.trace = t }
+
+// RegisterMetrics exposes the device's counters in reg under prefix (e.g.
+// "dram.hbm"): device-wide totals, per-kind bytes, and per-bank row-buffer
+// outcomes. Registration is lazy — snapshots read the live fields — so the
+// scheduling hot path is untouched.
+func (d *Device) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	s := &d.stats
+	reg.CounterFunc(prefix+".reads", func() uint64 { return s.Reads })
+	reg.CounterFunc(prefix+".writes", func() uint64 { return s.Writes })
+	reg.CounterFunc(prefix+".row_hits", func() uint64 { return s.RowHits })
+	reg.CounterFunc(prefix+".row_misses", func() uint64 { return s.RowMisses })
+	reg.CounterFunc(prefix+".row_conflicts", func() uint64 { return s.RowConflicts })
+	reg.CounterFunc(prefix+".bus_busy_cycles", func() uint64 { return s.BusBusyCycles })
+	reg.CounterFunc(prefix+".read_latency_sum", func() uint64 { return s.ReadLatencySum })
+	reg.CounterFunc(prefix+".read_count", func() uint64 { return s.ReadCount })
+	reg.CounterFunc(prefix+".queue_full_rejects", func() uint64 { return s.QueueFullRejects })
+	for k := 0; k < mem.NumKinds; k++ {
+		k := k
+		reg.CounterFunc(fmt.Sprintf("%s.bytes.%s", prefix, mem.Kind(k)),
+			func() uint64 { return s.BytesByKind[k] })
+	}
+	for ci := range d.chans {
+		for bi := range d.chans[ci].banks {
+			b := &d.chans[ci].banks[bi]
+			bp := fmt.Sprintf("%s.ch%d.bank%d", prefix, ci, bi)
+			reg.CounterFunc(bp+".row_hits", func() uint64 { return b.rowHits })
+			reg.CounterFunc(bp+".row_misses", func() uint64 { return b.rowMisses })
+			reg.CounterFunc(bp+".row_conflicts", func() uint64 { return b.rowConflicts })
+		}
+	}
+}
 
 // ChannelOf returns the channel index a byte address maps to. Blocks
 // interleave across channels so a 4 KB page spreads over all channels.
@@ -297,12 +338,16 @@ func (d *Device) issue(c *channel, r *request, now uint64) {
 	switch {
 	case b.openRow == int64(r.row):
 		d.stats.RowHits++
+		b.rowHits++
 		rowReady = start
 	case b.openRow == -1:
 		d.stats.RowMisses++
+		b.rowMisses++
 		rowReady = start + d.cfg.Timing.TRCD
 	default:
 		d.stats.RowConflicts++
+		b.rowConflicts++
+		d.trace.Emit(now, metrics.EvRowConflict, r.addr, uint64(r.bank))
 		rowReady = start + d.cfg.Timing.TRP + d.cfg.Timing.TRCD
 	}
 	b.openRow = int64(r.row)

@@ -1,8 +1,8 @@
 package harness
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"nomad/internal/system"
 	"nomad/internal/workload"
@@ -27,12 +27,12 @@ func init() {
 
 var ablationWorkloads = []string{"cact", "libq", "pr"}
 
-func runAblations(opts Options, w io.Writer) error {
+func runAblations(ctx context.Context, opts Options) (*Report, error) {
 	var runs []Run
 	for _, abbr := range ablationWorkloads {
 		sp, ok := workload.ByAbbr(abbr)
 		if !ok {
-			return fmt.Errorf("ablations: unknown workload %q", abbr)
+			return nil, fmt.Errorf("ablations: unknown workload %q", abbr)
 		}
 		// A: verification latency sweep.
 		for _, v := range []uint64{0, 1, 5, 20} {
@@ -54,39 +54,33 @@ func runAblations(opts Options, w io.Writer) error {
 			runs = append(runs, Run{Key: key(abbr, "taglat", lat), Cfg: cfg, Spec: sp})
 		}
 	}
-	res, err := Execute(opts, w, runs)
+	res, err := Execute(ctx, opts, runs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Fprintln(w, "A. PCSHR data-verification latency added to every DC access (IPC relative to")
-	fmt.Fprintln(w, "   0 cycles). Paper: one full cycle costs ~0.1% on average.")
-	fmt.Fprintln(w)
-	t := newTable("Workload", "0cyc", "1cyc", "5cyc", "20cyc")
+	rep := newReport("ablations", res)
+	t := NewTable("Workload", "0cyc", "1cyc", "5cyc", "20cyc")
 	for _, abbr := range ablationWorkloads {
 		base := res[key(abbr, "verify", uint64(0))].IPC
-		t.addf(abbr, 1.0,
+		t.Addf(abbr, 1.0,
 			res[key(abbr, "verify", uint64(1))].IPC/base,
 			res[key(abbr, "verify", uint64(5))].IPC/base,
 			res[key(abbr, "verify", uint64(20))].IPC/base)
 	}
-	t.write(w)
+	rep.add(t,
+		"A. PCSHR data-verification latency added to every DC access (IPC relative to",
+		"   0 cycles). Paper: one full cycle costs ~0.1% on average.")
 
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, "B. Critical-data-first scheduling (P/PI + demand elevation) on vs off.")
-	fmt.Fprintln(w)
-	t2 := newTable("Workload", "IPC on", "IPC off", "bufHit% on", "bufHit% off")
+	t2 := NewTable("Workload", "IPC on", "IPC off", "bufHit% on", "bufHit% off")
 	for _, abbr := range ablationWorkloads {
 		on := res[key(abbr, "verify", uint64(0))]
 		off := res[key(abbr, "nocdf")]
-		t2.addf(abbr, on.IPC, off.IPC, 100*on.BufferHitRate, 100*off.BufferHitRate)
+		t2.Addf(abbr, on.IPC, off.IPC, 100*on.BufferHitRate, 100*off.BufferHitRate)
 	}
-	t2.write(w)
+	rep.add(t2, "B. Critical-data-first scheduling (P/PI + demand elevation) on vs off.")
 
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, "C. Tag miss handler critical-section cost (the paper conservatively uses 400).")
-	fmt.Fprintln(w)
-	t3 := newTable("Workload", "Metric", "100", "400", "800", "1600")
+	t3 := NewTable("Workload", "Metric", "100", "400", "800", "1600")
 	for _, abbr := range ablationWorkloads {
 		ipc := []interface{}{abbr, "IPC"}
 		stall := []interface{}{abbr, "stall %"}
@@ -95,9 +89,9 @@ func runAblations(opts Options, w io.Writer) error {
 			ipc = append(ipc, r.IPC)
 			stall = append(stall, 100*r.OSStallRatio)
 		}
-		t3.addf(ipc...)
-		t3.addf(stall...)
+		t3.Addf(ipc...)
+		t3.Addf(stall...)
 	}
-	t3.write(w)
-	return nil
+	rep.add(t3, "C. Tag miss handler critical-section cost (the paper conservatively uses 400).")
+	return rep, nil
 }

@@ -1,8 +1,8 @@
 package harness
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"nomad/internal/workload"
 )
@@ -19,12 +19,12 @@ func init() {
 	})
 }
 
-func runFig2(opts Options, w io.Writer) error {
+func runFig2(ctx context.Context, opts Options) (*Report, error) {
 	var runs []Run
 	for _, abbr := range fig2Workloads {
 		sp, ok := workload.ByAbbr(abbr)
 		if !ok {
-			return fmt.Errorf("fig2: unknown workload %q", abbr)
+			return nil, fmt.Errorf("fig2: unknown workload %q", abbr)
 		}
 		for _, scheme := range []string{"TDC", "TiD", "Ideal"} {
 			cfg := opts.BaseConfig()
@@ -32,16 +32,13 @@ func runFig2(opts Options, w io.Writer) error {
 			runs = append(runs, Run{Key: key(abbr, scheme), Cfg: cfg, Spec: sp})
 		}
 	}
-	res, err := Execute(opts, w, runs)
+	res, err := Execute(ctx, opts, runs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Fprintln(w, "Fig. 2: the blocking OS-managed scheme wins at low RMHB (ideal access time),")
-	fmt.Fprintln(w, "loses at high RMHB (miss-handling stalls). RMHB measured under Ideal config.")
-	fmt.Fprintln(w, "Paper shape: TDC/TiD < 1 for cact/sssp/bwav, > 1 for mcf/bc/pr.")
-	fmt.Fprintln(w)
-	t := newTable("Workload", "Class", "RMHB GB/s", "IPC TDC/TiD", "Paper trend")
+	rep := newReport("fig2", res)
+	t := NewTable("Workload", "Class", "RMHB GB/s", "IPC TDC/TiD", "Paper trend")
 	for _, abbr := range fig2Workloads {
 		sp, _ := workload.ByAbbr(abbr)
 		ratio := res[key(abbr, "TDC")].IPC / res[key(abbr, "TiD")].IPC
@@ -49,8 +46,11 @@ func runFig2(opts Options, w io.Writer) error {
 		if sp.Class == "Loose" || sp.Class == "Few" {
 			trend = "TDC wins (>1)"
 		}
-		t.addf(abbr, sp.Class, res[key(abbr, "Ideal")].RMHBGBs, ratio, trend)
+		t.Addf(abbr, sp.Class, res[key(abbr, "Ideal")].RMHBGBs, ratio, trend)
 	}
-	t.write(w)
-	return nil
+	rep.add(t,
+		"Fig. 2: the blocking OS-managed scheme wins at low RMHB (ideal access time),",
+		"loses at high RMHB (miss-handling stalls). RMHB measured under Ideal config.",
+		"Paper shape: TDC/TiD < 1 for cact/sssp/bwav, > 1 for mcf/bc/pr.")
+	return rep, nil
 }

@@ -1,8 +1,8 @@
 package harness
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"math"
 
 	"nomad/internal/system"
@@ -31,7 +31,7 @@ func init() {
 
 // mainMatrix runs every scheme on every Table I workload (shared by Figs. 9,
 // 10, and 11).
-func mainMatrix(opts Options, w io.Writer, schemes []system.SchemeName) (Results, error) {
+func mainMatrix(ctx context.Context, opts Options, schemes []system.SchemeName) (Results, error) {
 	var runs []Run
 	for _, sp := range workload.Specs() {
 		for _, s := range schemes {
@@ -40,18 +40,17 @@ func mainMatrix(opts Options, w io.Writer, schemes []system.SchemeName) (Results
 			runs = append(runs, Run{Key: key(sp.Abbr, s), Cfg: cfg, Spec: sp})
 		}
 	}
-	return Execute(opts, w, runs)
+	return Execute(ctx, opts, runs)
 }
 
-func runFig9(opts Options, w io.Writer) error {
-	res, err := mainMatrix(opts, w, system.AllSchemes())
+func runFig9(ctx context.Context, opts Options) (*Report, error) {
+	res, err := mainMatrix(ctx, opts, system.AllSchemes())
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Fig. 9 (top): IPC relative to Baseline. Paper shape: NOMAD ~ Ideal > TDC on")
-	fmt.Fprintln(w, "Loose/Few; NOMAD > TiD > TDC~1.0 on Excess; NOMAD best overall.")
-	fmt.Fprintln(w)
-	t := newTable("Class", "Workload", "TiD", "TDC", "NOMAD", "Ideal")
+	rep := newReport("fig9", res)
+
+	t := NewTable("Class", "Workload", "TiD", "TDC", "NOMAD", "Ideal")
 	var gm = map[system.SchemeName]float64{"TiD": 1, "TDC": 1, "NOMAD": 1, "Ideal": 1}
 	n := 0
 	for _, sp := range workload.Specs() {
@@ -63,25 +62,25 @@ func runFig9(opts Options, w io.Writer) error {
 			row = append(row, rel)
 		}
 		n++
-		t.addf(row...)
+		t.Addf(row...)
 	}
 	pow := 1.0 / float64(n)
-	t.addf("", "gmean", geo(gm["TiD"], pow), geo(gm["TDC"], pow), geo(gm["NOMAD"], pow), geo(gm["Ideal"], pow))
-	t.write(w)
+	t.Addf("", "gmean", geo(gm["TiD"], pow), geo(gm["TDC"], pow), geo(gm["NOMAD"], pow), geo(gm["Ideal"], pow))
+	rep.add(t,
+		"Fig. 9 (top): IPC relative to Baseline. Paper shape: NOMAD ~ Ideal > TDC on",
+		"Loose/Few; NOMAD > TiD > TDC~1.0 on Excess; NOMAD best overall.")
 
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, "Fig. 9 (bottom): average DC access time in CPU cycles (post-LLC read latency at")
-	fmt.Fprintln(w, "the DC controller). Paper shape: OS-managed ~ Ideal; TiD inflated by metadata traffic.")
-	fmt.Fprintln(w)
-	t2 := newTable("Class", "Workload", "Baseline", "TiD", "TDC", "NOMAD", "Ideal")
+	t2 := NewTable("Class", "Workload", "Baseline", "TiD", "TDC", "NOMAD", "Ideal")
 	for _, sp := range workload.Specs() {
 		row := []interface{}{sp.Class, sp.Abbr}
 		for _, s := range system.AllSchemes() {
 			row = append(row, res[key(sp.Abbr, s)].AvgDCAccessTime)
 		}
-		t2.addf(row...)
+		t2.Addf(row...)
 	}
-	t2.write(w)
+	rep.add(t2,
+		"Fig. 9 (bottom): average DC access time in CPU cycles (post-LLC read latency at",
+		"the DC controller). Paper shape: OS-managed ~ Ideal; TiD inflated by metadata traffic.")
 
 	// Headline numbers (§IV-B.5): NOMAD vs TDC and vs TiD.
 	var nomadOverTDC, nomadOverTiD = 1.0, 1.0
@@ -89,9 +88,9 @@ func runFig9(opts Options, w io.Writer) error {
 		nomadOverTDC *= res[key(sp.Abbr, system.SchemeNOMAD)].IPC / res[key(sp.Abbr, system.SchemeTDC)].IPC
 		nomadOverTiD *= res[key(sp.Abbr, system.SchemeNOMAD)].IPC / res[key(sp.Abbr, system.SchemeTiD)].IPC
 	}
-	fmt.Fprintf(w, "\nHeadline: NOMAD improves IPC by %.1f%% over TDC (paper: 16.7%%) and %.1f%% over TiD (paper: 25.5%%), gmean.\n",
-		100*(geo(nomadOverTDC, pow)-1), 100*(geo(nomadOverTiD, pow)-1))
-	return nil
+	rep.add(nil, fmt.Sprintf("Headline: NOMAD improves IPC by %.1f%% over TDC (paper: 16.7%%) and %.1f%% over TiD (paper: 25.5%%), gmean.",
+		100*(geo(nomadOverTDC, pow)-1), 100*(geo(nomadOverTiD, pow)-1)))
+	return rep, nil
 }
 
 // geo returns the geometric mean given the product of n values and 1/n.
@@ -102,17 +101,14 @@ func geo(prod, pow float64) float64 {
 	return math.Pow(prod, pow)
 }
 
-func runFig10(opts Options, w io.Writer) error {
+func runFig10(ctx context.Context, opts Options) (*Report, error) {
 	schemes := []system.SchemeName{system.SchemeTiD, system.SchemeTDC, system.SchemeNOMAD}
-	res, err := mainMatrix(opts, w, schemes)
+	res, err := mainMatrix(ctx, opts, schemes)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Fig. 10: on-package (HBM) bandwidth usage breakdown in GB/s and row-buffer hit")
-	fmt.Fprintln(w, "rate. Paper shape: TiD burns bandwidth on metadata; OS schemes on page fills;")
-	fmt.Fprintln(w, "high-spatial-locality workloads show high row hit rates.")
-	fmt.Fprintln(w)
-	t := newTable("Workload", "Scheme", "Demand", "Metadata", "Fill", "Writeback", "Total GB/s", "RowHit%")
+	rep := newReport("fig10", res)
+	t := NewTable("Workload", "Scheme", "Demand", "Metadata", "Fill", "Writeback", "Total GB/s", "RowHit%")
 	for _, sp := range workload.Specs() {
 		for _, s := range schemes {
 			r := res[key(sp.Abbr, s)]
@@ -122,43 +118,46 @@ func runFig10(opts Options, w io.Writer) error {
 				}
 				return float64(b) / r.Seconds / 1e9
 			}
-			t.addf(sp.Abbr, string(s),
+			t.Addf(sp.Abbr, string(s),
 				toGBs(r.HBMBytesByKind[0]), toGBs(r.HBMBytesByKind[1]),
 				toGBs(r.HBMBytesByKind[2]), toGBs(r.HBMBytesByKind[3]),
 				r.HBMGBs, 100*r.HBMRowHitRate)
 		}
 	}
-	t.write(w)
-	return nil
+	rep.add(t,
+		"Fig. 10: on-package (HBM) bandwidth usage breakdown in GB/s and row-buffer hit",
+		"rate. Paper shape: TiD burns bandwidth on metadata; OS schemes on page fills;",
+		"high-spatial-locality workloads show high row hit rates.")
+	return rep, nil
 }
 
-func runFig11(opts Options, w io.Writer) error {
+func runFig11(ctx context.Context, opts Options) (*Report, error) {
 	schemes := []system.SchemeName{system.SchemeTDC, system.SchemeNOMAD}
-	res, err := mainMatrix(opts, w, schemes)
+	res, err := mainMatrix(ctx, opts, schemes)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintln(w, "Fig. 11: application stall cycle ratio (thread suspended by OS routines) and")
-	fmt.Fprintln(w, "average tag management latency. Paper: TDC stalls ~43%/29%/15%/4% by class;")
-	fmt.Fprintln(w, "NOMAD cuts stall cycles by 76.1% on average; NOMAD tag latency 400..3200 cycles.")
-	fmt.Fprintln(w)
-	t := newTable("Class", "Workload", "TDC stall%", "NOMAD stall%", "TDC tagLat", "NOMAD tagLat")
+	rep := newReport("fig11", res)
+	t := NewTable("Class", "Workload", "TDC stall%", "NOMAD stall%", "TDC tagLat", "NOMAD tagLat")
 	var reduction float64
 	n := 0
 	for _, sp := range workload.Specs() {
 		d := res[key(sp.Abbr, system.SchemeTDC)]
 		m := res[key(sp.Abbr, system.SchemeNOMAD)]
-		t.addf(sp.Class, sp.Abbr, 100*d.OSStallRatio, 100*m.OSStallRatio,
+		t.Addf(sp.Class, sp.Abbr, 100*d.OSStallRatio, 100*m.OSStallRatio,
 			d.AvgTagMgmtLatency, m.AvgTagMgmtLatency)
 		if d.OSStallRatio > 0 {
 			reduction += (d.OSStallRatio - m.OSStallRatio) / d.OSStallRatio
 			n++
 		}
 	}
-	t.write(w)
+	rep.add(t,
+		"Fig. 11: application stall cycle ratio (thread suspended by OS routines) and",
+		"average tag management latency. Paper: TDC stalls ~43%/29%/15%/4% by class;",
+		"NOMAD cuts stall cycles by 76.1% on average; NOMAD tag latency 400..3200 cycles.")
 	if n > 0 {
-		fmt.Fprintf(w, "\nHeadline: NOMAD reduces application stall cycles by %.1f%% on average (paper: 76.1%%).\n",
-			100*reduction/float64(n))
+		rep.add(nil, fmt.Sprintf("Headline: NOMAD reduces application stall cycles by %.1f%% on average (paper: 76.1%%).",
+			100*reduction/float64(n)))
 	}
-	return nil
+	return rep, nil
 }

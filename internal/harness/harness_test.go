@@ -2,8 +2,12 @@ package harness
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"nomad/internal/system"
 	"nomad/internal/workload"
@@ -34,11 +38,11 @@ func TestAllStableOrder(t *testing.T) {
 }
 
 func TestTableRendering(t *testing.T) {
-	tb := newTable("A", "BB")
-	tb.addf("x", 1.5)
-	tb.add("longer", "y")
+	tb := NewTable("A", "BB")
+	tb.Addf("x", 1.5)
+	tb.Add("longer", "y")
 	var buf bytes.Buffer
-	tb.write(&buf)
+	tb.Write(&buf)
 	out := buf.String()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 4 {
@@ -52,28 +56,49 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestReportWriteText(t *testing.T) {
+	rep := &Report{ID: "x", Title: "X"}
+	tb := NewTable("A")
+	tb.Add("1")
+	rep.add(tb, "first note", "second note")
+	rep.add(nil, "closing line")
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := "first note\nsecond note\n\nA\n-\n1\n\nclosing line\n"
+	if out != want {
+		t.Fatalf("WriteText:\n%q\nwant:\n%q", out, want)
+	}
+}
+
 func TestKey(t *testing.T) {
 	if got := key("a", 1, true); got != "a/1/true" {
 		t.Fatalf("key = %q", got)
 	}
 }
 
-func TestExecuteParallelDeterminism(t *testing.T) {
-	// The same run executed twice (even concurrently) must give identical
-	// results: the public determinism guarantee the harness relies on.
-	sp, _ := workload.ByAbbr("tc")
+func testConfig() system.Config {
 	cfg := system.DefaultConfig()
 	cfg.Cores = 2
 	cfg.Scheme = system.SchemeNOMAD
 	cfg.CacheFrames = 4096
 	cfg.WarmupInstructions = 30_000
 	cfg.ROIInstructions = 60_000
+	return cfg
+}
+
+func TestExecuteParallelDeterminism(t *testing.T) {
+	// The same run executed twice (even concurrently) must give identical
+	// results: the public determinism guarantee the harness relies on.
+	sp, _ := workload.ByAbbr("tc")
+	cfg := testConfig()
 	runs := []Run{
 		{Key: "a", Cfg: cfg, Spec: sp},
 		{Key: "b", Cfg: cfg, Spec: sp},
 	}
-	var buf bytes.Buffer
-	res, err := Execute(Options{Parallelism: 2}, &buf, runs)
+	res, err := Execute(context.Background(), Options{Parallelism: 2}, runs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,15 +108,131 @@ func TestExecuteParallelDeterminism(t *testing.T) {
 	}
 }
 
-func TestExecuteReportsErrors(t *testing.T) {
-	cfg := system.DefaultConfig()
-	cfg.Scheme = "NoSuchScheme"
+func TestExecuteDeterministicAcrossWorkerCounts(t *testing.T) {
+	// A batch must produce identical results whether it runs on 1 worker
+	// or many: scheduling must not leak into simulation outcomes.
 	sp, _ := workload.ByAbbr("tc")
-	var buf bytes.Buffer
-	_, err := Execute(Options{}, &buf, []Run{{Key: "bad", Cfg: cfg, Spec: sp}})
+	cfg := testConfig()
+	var runs []Run
+	for _, k := range []string{"a", "b", "c"} {
+		runs = append(runs, Run{Key: k, Cfg: cfg, Spec: sp})
+	}
+	serial, err := Execute(context.Background(), Options{Parallelism: 1}, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Execute(context.Background(), Options{Parallelism: 3}, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		s, p := serial[k], parallel[k]
+		if s.Cycles != p.Cycles || s.Instructions != p.Instructions || s.IPC != p.IPC {
+			t.Fatalf("run %q diverged across worker counts:\n%v\n%v", k, s, p)
+		}
+	}
+}
+
+func TestExecuteJoinsAllErrors(t *testing.T) {
+	// Every failing run must be reported (errors.Join), annotated with its
+	// key, and successful runs must still be returned.
+	sp, _ := workload.ByAbbr("tc")
+	good := testConfig()
+	bad := testConfig()
+	bad.Scheme = "NoSuchScheme"
+	runs := []Run{
+		{Key: "bad1", Cfg: bad, Spec: sp},
+		{Key: "ok", Cfg: good, Spec: sp},
+		{Key: "bad2", Cfg: bad, Spec: sp},
+	}
+	res, err := Execute(context.Background(), Options{Parallelism: 2}, runs)
 	if err == nil {
 		t.Fatal("invalid scheme did not error")
 	}
+	for _, want := range []string{`"bad1"`, `"bad2"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+	if res["ok"] == nil {
+		t.Error("successful run missing from partial results")
+	}
+	if res["bad1"] != nil || res["bad2"] != nil {
+		t.Error("failed runs present in results")
+	}
+}
+
+func TestExecuteCancelledMidBatch(t *testing.T) {
+	// Cancelling during a batch returns ctx.Err() (exactly once, not per
+	// run) and whatever completed before the cancellation.
+	sp, _ := workload.ByAbbr("tc")
+	cfg := testConfig()
+	cfg.WarmupInstructions = 0
+	cfg.ROIInstructions = 5_000_000 // long enough to straddle the cancel
+	var runs []Run
+	for i := 0; i < 4; i++ {
+		runs = append(runs, Run{Key: key("r", i), Cfg: cfg, Spec: sp})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Execute(ctx, Options{Parallelism: 2}, runs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := strings.Count(err.Error(), context.Canceled.Error()); n != 1 {
+		t.Fatalf("context.Canceled reported %d times, want once: %v", n, err)
+	}
+}
+
+func TestExecuteBoundsParallelism(t *testing.T) {
+	// Options.Parallelism is the worker-pool size: no more than that many
+	// simulations may be in flight at once.
+	sp, _ := workload.ByAbbr("tc")
+	cfg := testConfig()
+	cfg.WarmupInstructions = 10_000
+	cfg.ROIInstructions = 20_000
+	var runs []Run
+	for i := 0; i < 6; i++ {
+		runs = append(runs, Run{Key: key("r", i), Cfg: cfg, Spec: sp})
+	}
+	// Each in-flight simulation polls ctx.Err() every sampling window, so
+	// the peak number of concurrent Err() sections bounds the number of
+	// concurrent runs. Exceeding the limit can only happen if Execute
+	// really runs too many simulations at once; the check cannot fail
+	// spuriously.
+	var inFlight, peak atomic.Int64
+	ctx := &countingContext{Context: context.Background(), inFlight: &inFlight, peak: &peak}
+	if _, err := Execute(ctx, Options{Parallelism: 2}, runs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("observed %d concurrent runs, want <= 2", p)
+	}
+}
+
+// countingContext tracks the peak number of concurrent Err() sections. The
+// brief hold makes overlap between concurrently running simulations (which
+// poll Err() every sampling window) observable.
+type countingContext struct {
+	context.Context
+	inFlight *atomic.Int64
+	peak     *atomic.Int64
+}
+
+func (c *countingContext) Err() error {
+	n := c.inFlight.Add(1)
+	for {
+		p := c.peak.Load()
+		if n <= p || c.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	time.Sleep(100 * time.Microsecond)
+	c.inFlight.Add(-1)
+	return c.Context.Err()
 }
 
 func TestOptionsBaseConfig(t *testing.T) {

@@ -1,8 +1,8 @@
 package harness
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"math/rand"
 
 	"nomad/internal/mem"
@@ -31,19 +31,15 @@ func init() {
 	})
 }
 
-func runReplacement(opts Options, w io.Writer) error {
+func runReplacement(_ context.Context, opts Options) (*Report, error) {
 	const capacity = 32768 // pages: the 128 MB scaled DC
 	visits := 8 * capacity
 	if opts.Fast {
 		visits = 3 * capacity
 	}
 
-	fmt.Fprintln(w, "A. Array traversals with power-of-two strides (column walks over grids with")
-	fmt.Fprintln(w, "power-of-two leading dimensions, as in stencil/HPC codes): strided pages alias")
-	fmt.Fprintln(w, "into few sets, so the set-associative cache takes conflict misses the fully")
-	fmt.Fprintln(w, "associative FIFO design cannot have. The sweep varies the strided fraction.")
-	fmt.Fprintln(w)
-	t := newTable("Strided fraction", "FIFO-FA%", "SA-LRU16%", "LRU-FA%", "FIFO/SA-LRU")
+	rep := newReport("replacement", nil)
+	t := NewTable("Strided fraction", "FIFO-FA%", "SA-LRU16%", "LRU-FA%", "FIFO/SA-LRU")
 	var sumRel float64
 	fractions := []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5}
 	sets := uint64(capacity / 16)
@@ -75,20 +71,22 @@ func runReplacement(opts Options, w io.Writer) error {
 		}
 		rel := replacement.MissRate(fifo) / replacement.MissRate(sa)
 		sumRel += rel
-		t.addf(fmt.Sprintf("%.2f", frac),
+		t.Addf(fmt.Sprintf("%.2f", frac),
 			100*replacement.MissRate(fifo),
 			100*replacement.MissRate(sa),
 			100*replacement.MissRate(lru),
 			rel)
 	}
-	t.write(w)
-	fmt.Fprintf(w, "\nAverage FIFO-FA / SA-LRU16 miss ratio over the sweep: %.2f (paper's benchmark\naverage: ~0.77, i.e. 23%% fewer misses).\n", sumRel/float64(len(fractions)))
+	rep.add(t,
+		"A. Array traversals with power-of-two strides (column walks over grids with",
+		"power-of-two leading dimensions, as in stencil/HPC codes): strided pages alias",
+		"into few sets, so the set-associative cache takes conflict misses the fully",
+		"associative FIFO design cannot have. The sweep varies the strided fraction.")
+	rep.add(nil,
+		fmt.Sprintf("Average FIFO-FA / SA-LRU16 miss ratio over the sweep: %.2f (paper's benchmark", sumRel/float64(len(fractions))),
+		"average: ~0.77, i.e. 23% fewer misses).")
 
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, "B. Table I surrogates (reuse is bimodal by construction: resident warm sets +")
-	fmt.Fprintln(w, "one-sweep streams, so policies converge; see EXPERIMENTS.md).")
-	fmt.Fprintln(w)
-	t2 := newTable("Class", "Workload", "FIFO-FA%", "SA-LRU16%", "FIFO/SA-LRU")
+	t2 := NewTable("Class", "Workload", "FIFO-FA%", "SA-LRU16%", "FIFO/SA-LRU")
 	const cores = 8
 	for _, sp := range workload.Specs() {
 		fifo := replacement.NewFIFO(capacity)
@@ -110,11 +108,13 @@ func runReplacement(opts Options, w io.Writer) error {
 			sa.Access(page)
 			i++
 		}
-		t2.addf(sp.Class, sp.Abbr,
+		t2.Addf(sp.Class, sp.Abbr,
 			100*replacement.MissRate(fifo),
 			100*replacement.MissRate(sa),
 			replacement.MissRate(fifo)/replacement.MissRate(sa))
 	}
-	t2.write(w)
-	return nil
+	rep.add(t2,
+		"B. Table I surrogates (reuse is bimodal by construction: resident warm sets +",
+		"one-sweep streams, so policies converge; see EXPERIMENTS.md).")
+	return rep, nil
 }

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report is the structured output of one experiment: the sections the text
+// rendering prints, plus every underlying simulation Result (each carrying
+// its full metrics snapshot) keyed by run key.
+type Report struct {
+	ID       string    `json:"id"`
+	Title    string    `json:"title"`
+	Sections []Section `json:"sections"`
+	// Runs holds the raw per-simulation results the sections were derived
+	// from. Analysis-only experiments (replacement) leave it empty.
+	Runs Results `json:"runs,omitempty"`
+}
+
+// Section is one block of a report: commentary lines followed by an optional
+// table.
+type Section struct {
+	Notes []string `json:"notes,omitempty"`
+	Table *Table   `json:"table,omitempty"`
+}
+
+// newReport starts a report for the registered experiment id.
+func newReport(id string, res Results) *Report {
+	return &Report{ID: id, Title: registry[id].Title, Runs: res}
+}
+
+// add appends a section built from notes and an optional table.
+func (r *Report) add(t *Table, notes ...string) {
+	r.Sections = append(r.Sections, Section{Notes: notes, Table: t})
+}
+
+// WriteText renders the report in the traditional text form: sections
+// separated by blank lines, each as its commentary, a blank line, then the
+// aligned table.
+func (r *Report) WriteText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	for i, sec := range r.Sections {
+		if i > 0 {
+			fmt.Fprintln(ew)
+		}
+		for _, n := range sec.Notes {
+			fmt.Fprintln(ew, n)
+		}
+		if sec.Table != nil {
+			if len(sec.Notes) > 0 {
+				fmt.Fprintln(ew)
+			}
+			sec.Table.Write(ew)
+		}
+	}
+	return ew.err
+}
+
+// errWriter latches the first write error so rendering code can print
+// unconditionally.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+		return len(p), nil
+	}
+	return n, nil
+}

@@ -1,13 +1,16 @@
 // Package harness reproduces every table and figure of the paper's
 // evaluation. Each experiment is registered under the paper's artifact name
-// (table1, fig2, fig9..fig16) and prints a text rendering of the same rows
-// or series the paper plots.
+// (table1, fig2, fig9..fig16) and produces a structured Report holding the
+// same rows or series the paper plots, plus each underlying run's full
+// metrics snapshot; Report.WriteText renders the traditional text form.
 //
 // Runs are deterministic; independent runs execute in parallel across OS
 // threads (each simulation is single-threaded and self-contained).
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -25,8 +28,10 @@ type Options struct {
 	Fast bool
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
-	// Verbose prints each run's one-line summary as it completes.
+	// Verbose prints each run's one-line summary to Log.
 	Verbose bool
+	// Log receives verbose progress output (nil discards it).
+	Log io.Writer
 }
 
 func (o Options) workers() int {
@@ -56,48 +61,71 @@ type Run struct {
 // Results maps Run.Key to the outcome.
 type Results map[string]*system.Result
 
-// Execute runs the batch in parallel and returns results by key. The first
-// error aborts the batch.
-func Execute(opts Options, out io.Writer, runs []Run) (Results, error) {
+// Execute runs the batch on a pool of opts.workers() goroutines and returns
+// results by key. Results are deterministic and independent of the worker
+// count: each simulation is self-contained, and verbose summaries are
+// emitted in input order after the batch completes.
+//
+// On failure every per-run error is collected and joined (errors.Join),
+// each annotated with its run key; the returned Results still holds every
+// run that completed, so callers may render partial output. Cancelling ctx
+// stops queued runs before they start and in-flight simulations at their
+// next sampling window; ctx.Err() is then reported once rather than per
+// run.
+func Execute(ctx context.Context, opts Options, runs []Run) (Results, error) {
 	type outcome struct {
-		key string
 		res *system.Result
 		err error
 	}
-	sem := make(chan struct{}, opts.workers())
-	ch := make(chan outcome, len(runs))
+	outcomes := make([]outcome, len(runs))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for _, r := range runs {
+	for w := 0; w < opts.workers(); w++ {
 		wg.Add(1)
-		go func(r Run) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			m, err := system.New(r.Cfg, r.Spec)
-			if err != nil {
-				ch <- outcome{key: r.Key, err: err}
-				return
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain without starting work
+				}
+				r := runs[i]
+				m, err := system.New(r.Cfg, r.Spec)
+				if err != nil {
+					outcomes[i] = outcome{err: err}
+					continue
+				}
+				res, err := m.RunContext(ctx)
+				outcomes[i] = outcome{res: res, err: err}
 			}
-			res, err := m.Run()
-			ch <- outcome{key: r.Key, res: res, err: err}
-		}(r)
+		}()
 	}
+	for i := range runs {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
-	close(ch)
+
 	results := make(Results, len(runs))
-	var errs []outcome
-	for o := range ch {
-		if o.err != nil {
-			errs = append(errs, o)
-			continue
+	var errs []error
+	for i, o := range outcomes {
+		r := runs[i]
+		switch {
+		case o.err != nil:
+			if !errors.Is(o.err, context.Canceled) && !errors.Is(o.err, context.DeadlineExceeded) {
+				errs = append(errs, fmt.Errorf("run %q: %w", r.Key, o.err))
+			}
+		case o.res != nil:
+			results[r.Key] = o.res
+			if opts.Verbose && opts.Log != nil {
+				fmt.Fprintf(opts.Log, "# %s: %s\n", r.Key, o.res)
+			}
 		}
-		results[o.key] = o.res
-		if opts.Verbose {
-			fmt.Fprintf(out, "# %s: %s\n", o.key, o.res)
-		}
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
 	}
 	if len(errs) > 0 {
-		return results, fmt.Errorf("harness: run %q failed: %w", errs[0].key, errs[0].err)
+		return results, fmt.Errorf("harness: %w", errors.Join(errs...))
 	}
 	return results, nil
 }
@@ -118,7 +146,7 @@ func key(parts ...interface{}) string {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(opts Options, w io.Writer) error
+	Run   func(ctx context.Context, opts Options) (*Report, error)
 }
 
 var registry = map[string]Experiment{}

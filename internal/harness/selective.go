@@ -1,8 +1,8 @@
 package harness
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"nomad/internal/system"
 	"nomad/internal/workload"
@@ -24,13 +24,13 @@ func init() {
 
 var selectiveWorkloads = []string{"sssp", "bfs", "bc", "pr"}
 
-func runSelective(opts Options, w io.Writer) error {
+func runSelective(ctx context.Context, opts Options) (*Report, error) {
 	thresholds := []uint64{1, 2, 3}
 	var runs []Run
 	for _, abbr := range selectiveWorkloads {
 		sp, ok := workload.ByAbbr(abbr)
 		if !ok {
-			return fmt.Errorf("selective: unknown workload %q", abbr)
+			return nil, fmt.Errorf("selective: unknown workload %q", abbr)
 		}
 		for _, th := range thresholds {
 			cfg := opts.BaseConfig()
@@ -39,20 +39,13 @@ func runSelective(opts Options, w io.Writer) error {
 			runs = append(runs, Run{Key: key(abbr, th), Cfg: cfg, Spec: sp})
 		}
 	}
-	res, err := Execute(opts, w, runs)
+	res, err := Execute(ctx, opts, runs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Fprintln(w, "NOMAD with cache-on-Nth-walk selective caching. N>=2 eliminates nearly all")
-	fmt.Fprintln(w, "fill bandwidth and miss-handling stalls (streaming pages are walked once per")
-	fmt.Fprintln(w, "sweep), but it also forfeits the DC for TLB-resident reuse: hot pages never")
-	fmt.Fprintln(w, "re-walk, so they never pass the filter. The mechanism plugs into the NOMAD")
-	fmt.Fprintln(w, "front-end with ~20 lines of OS code — the paper's flexibility argument — while")
-	fmt.Fprintln(w, "the results show why production policies need hotness signals beyond walk")
-	fmt.Fprintln(w, "counts (cf. Thermostat, Kleio).")
-	fmt.Fprintln(w)
-	t := newTable("Workload", "Metric", "N=1", "N=2", "N=3")
+	rep := newReport("selective", res)
+	t := NewTable("Workload", "Metric", "N=1", "N=2", "N=3")
 	for _, abbr := range selectiveWorkloads {
 		ipc := []interface{}{abbr, "IPC"}
 		fill := []interface{}{abbr, "fill GB/s"}
@@ -63,10 +56,17 @@ func runSelective(opts Options, w io.Writer) error {
 			fill = append(fill, r.RMHBGBs)
 			stall = append(stall, 100*r.OSStallRatio)
 		}
-		t.addf(ipc...)
-		t.addf(fill...)
-		t.addf(stall...)
+		t.Addf(ipc...)
+		t.Addf(fill...)
+		t.Addf(stall...)
 	}
-	t.write(w)
-	return nil
+	rep.add(t,
+		"NOMAD with cache-on-Nth-walk selective caching. N>=2 eliminates nearly all",
+		"fill bandwidth and miss-handling stalls (streaming pages are walked once per",
+		"sweep), but it also forfeits the DC for TLB-resident reuse: hot pages never",
+		"re-walk, so they never pass the filter. The mechanism plugs into the NOMAD",
+		"front-end with ~20 lines of OS code — the paper's flexibility argument — while",
+		"the results show why production policies need hotness signals beyond walk",
+		"counts (cf. Thermostat, Kleio).")
+	return rep, nil
 }

@@ -1,8 +1,8 @@
 package harness
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"nomad/internal/system"
 	"nomad/internal/workload"
@@ -38,7 +38,7 @@ func init() {
 
 var pcshrSweep = []int{1, 2, 4, 8, 16, 32}
 
-func runFig12(opts Options, w io.Writer) error {
+func runFig12(ctx context.Context, opts Options) (*Report, error) {
 	var runs []Run
 	for _, sp := range workload.Specs() {
 		base := opts.BaseConfig()
@@ -51,16 +51,13 @@ func runFig12(opts Options, w io.Writer) error {
 			runs = append(runs, Run{Key: key(sp.Abbr, n), Cfg: cfg, Spec: sp})
 		}
 	}
-	res, err := Execute(opts, w, runs)
+	res, err := Execute(ctx, opts, runs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Fprintln(w, "Fig. 12: NOMAD per-class average IPC (relative to Baseline) and off-package")
-	fmt.Fprintln(w, "bandwidth vs #PCSHRs. Paper shape: performance saturates by ~8 PCSHRs for the")
-	fmt.Fprintln(w, "Excess class (off-package bandwidth becomes the bottleneck); Loose/Few need 1-2.")
-	fmt.Fprintln(w)
-	t := newTable("Class", "Metric", "1", "2", "4", "8", "16", "32")
+	rep := newReport("fig12", res)
+	t := NewTable("Class", "Metric", "1", "2", "4", "8", "16", "32")
 	for _, class := range workload.Classes() {
 		specs := workload.ByClass(class)
 		ipcRow := []interface{}{class, "IPC rel base"}
@@ -75,17 +72,20 @@ func runFig12(opts Options, w io.Writer) error {
 			ipcRow = append(ipcRow, geo(prod, 1/float64(len(specs))))
 			bwRow = append(bwRow, bw/float64(len(specs)))
 		}
-		t.addf(ipcRow...)
-		t.addf(bwRow...)
+		t.Addf(ipcRow...)
+		t.Addf(bwRow...)
 	}
-	t.write(w)
-	return nil
+	rep.add(t,
+		"Fig. 12: NOMAD per-class average IPC (relative to Baseline) and off-package",
+		"bandwidth vs #PCSHRs. Paper shape: performance saturates by ~8 PCSHRs for the",
+		"Excess class (off-package bandwidth becomes the bottleneck); Loose/Few need 1-2.")
+	return rep, nil
 }
 
 var fig13Cores = []int{2, 4, 8, 16}
 var fig13PCSHRs = []int{2, 4, 8, 16, 32}
 
-func runFig13(opts Options, w io.Writer) error {
+func runFig13(ctx context.Context, opts Options) (*Report, error) {
 	specs := workload.ByClass("Excess")
 	var runs []Run
 	for _, cores := range fig13Cores {
@@ -99,16 +99,13 @@ func runFig13(opts Options, w io.Writer) error {
 			}
 		}
 	}
-	res, err := Execute(opts, w, runs)
+	res, err := Execute(ctx, opts, runs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Fprintln(w, "Fig. 13: Excess-class average IPC with different PCSHR counts, relative to the")
-	fmt.Fprintln(w, "32-PCSHR setup, for increasing core counts. Paper shape: beyond 8 PCSHRs the")
-	fmt.Fprintln(w, "off-package memory bounds performance, so more cores do not need more PCSHRs.")
-	fmt.Fprintln(w)
-	t := newTable("Cores", "2", "4", "8", "16", "32")
+	rep := newReport("fig13", res)
+	t := NewTable("Cores", "2", "4", "8", "16", "32")
 	for _, cores := range fig13Cores {
 		row := []interface{}{fmt.Sprintf("%d", cores)}
 		ref := 1.0
@@ -126,13 +123,16 @@ func runFig13(opts Options, w io.Writer) error {
 			}
 			row = append(row, geo(prod, 1/float64(len(specs)))/ref)
 		}
-		t.addf(row...)
+		t.Addf(row...)
 	}
-	t.write(w)
-	return nil
+	rep.add(t,
+		"Fig. 13: Excess-class average IPC with different PCSHR counts, relative to the",
+		"32-PCSHR setup, for increasing core counts. Paper shape: beyond 8 PCSHRs the",
+		"off-package memory bounds performance, so more cores do not need more PCSHRs.")
+	return rep, nil
 }
 
-func runFig14(opts Options, w io.Writer) error {
+func runFig14(ctx context.Context, opts Options) (*Report, error) {
 	wls := []string{"cact", "libq"}
 	var runs []Run
 	for _, abbr := range wls {
@@ -144,16 +144,13 @@ func runFig14(opts Options, w io.Writer) error {
 			runs = append(runs, Run{Key: key(abbr, n), Cfg: cfg, Spec: sp})
 		}
 	}
-	res, err := Execute(opts, w, runs)
+	res, err := Execute(ctx, opts, runs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Fprintln(w, "Fig. 14: stall rates and tag management latency vs #PCSHRs for cact (highest")
-	fmt.Fprintln(w, "RMHB) and libq (bursty RMHB). Paper shape: the bursty workload suffers more")
-	fmt.Fprintln(w, "PCSHR contention; going 16->32 PCSHRs cuts libq tag latency markedly.")
-	fmt.Fprintln(w)
-	t := newTable("Workload", "Metric", "1", "2", "4", "8", "16", "32")
+	rep := newReport("fig14", res)
+	t := NewTable("Workload", "Metric", "1", "2", "4", "8", "16", "32")
 	for _, abbr := range wls {
 		stall := []interface{}{abbr, "stall %"}
 		lat := []interface{}{abbr, "tagLat cyc"}
@@ -162,17 +159,20 @@ func runFig14(opts Options, w io.Writer) error {
 			stall = append(stall, 100*r.OSStallRatio)
 			lat = append(lat, r.AvgTagMgmtLatency)
 		}
-		t.addf(stall...)
-		t.addf(lat...)
+		t.Addf(stall...)
+		t.Addf(lat...)
 	}
-	t.write(w)
-	return nil
+	rep.add(t,
+		"Fig. 14: stall rates and tag management latency vs #PCSHRs for cact (highest",
+		"RMHB) and libq (bursty RMHB). Paper shape: the bursty workload suffers more",
+		"PCSHR contention; going 16->32 PCSHRs cuts libq tag latency markedly.")
+	return rep, nil
 }
 
 // fig15Configs are (n PCSHRs, m page copy buffers) pairs.
 var fig15Configs = [][2]int{{8, 8}, {16, 8}, {32, 8}, {16, 16}, {32, 16}, {32, 32}}
 
-func runFig15(opts Options, w io.Writer) error {
+func runFig15(ctx context.Context, opts Options) (*Report, error) {
 	wls := []string{"libq", "gems"}
 	var runs []Run
 	for _, abbr := range wls {
@@ -188,20 +188,17 @@ func runFig15(opts Options, w io.Writer) error {
 			runs = append(runs, Run{Key: key(abbr, nm[0], nm[1]), Cfg: cfg, Spec: sp})
 		}
 	}
-	res, err := Execute(opts, w, runs)
+	res, err := Execute(ctx, opts, runs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Fprintln(w, "Fig. 15: area-optimized back-end — n PCSHRs with m (<n) page copy buffers.")
-	fmt.Fprintln(w, "Paper shape: bursty workloads want more PCSHRs (to absorb command bursts and")
-	fmt.Fprintln(w, "keep tag latency down) but buffers need not scale proportionally.")
-	fmt.Fprintln(w)
+	rep := newReport("fig15", res)
 	hdr := []string{"Workload", "Metric"}
 	for _, nm := range fig15Configs {
 		hdr = append(hdr, fmt.Sprintf("(%d,%d)", nm[0], nm[1]))
 	}
-	t := newTable(hdr...)
+	t := NewTable(hdr...)
 	for _, abbr := range wls {
 		ipc := []interface{}{abbr, "IPC rel base"}
 		lat := []interface{}{abbr, "tagLat cyc"}
@@ -210,16 +207,19 @@ func runFig15(opts Options, w io.Writer) error {
 			ipc = append(ipc, r.IPC/res[key(abbr, "base")].IPC)
 			lat = append(lat, r.AvgTagMgmtLatency)
 		}
-		t.addf(ipc...)
-		t.addf(lat...)
+		t.Addf(ipc...)
+		t.Addf(lat...)
 	}
-	t.write(w)
-	return nil
+	rep.add(t,
+		"Fig. 15: area-optimized back-end — n PCSHRs with m (<n) page copy buffers.",
+		"Paper shape: bursty workloads want more PCSHRs (to absorb command bursts and",
+		"keep tag latency down) but buffers need not scale proportionally.")
+	return rep, nil
 }
 
 var fig16PCSHRs = []int{8, 16, 32}
 
-func runFig16(opts Options, w io.Writer) error {
+func runFig16(ctx context.Context, opts Options) (*Report, error) {
 	specs := workload.ByClass("Excess")
 	var runs []Run
 	for _, sp := range specs {
@@ -236,16 +236,13 @@ func runFig16(opts Options, w io.Writer) error {
 			}
 		}
 	}
-	res, err := Execute(opts, w, runs)
+	res, err := Execute(ctx, opts, runs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Fprintln(w, "Fig. 16: centralized vs distributed back-ends (Excess class average). Paper")
-	fmt.Fprintln(w, "shape: FIFO allocation spreads page-copy commands uniformly, so the distributed")
-	fmt.Fprintln(w, "organization matches the centralized one.")
-	fmt.Fprintln(w)
-	t := newTable("Org", "Metric", "8", "16", "32")
+	rep := newReport("fig16", res)
+	t := NewTable("Org", "Metric", "8", "16", "32")
 	for _, dist := range []bool{false, true} {
 		name := "centralized"
 		if dist {
@@ -264,9 +261,12 @@ func runFig16(opts Options, w io.Writer) error {
 			ipc = append(ipc, geo(prod, 1/float64(len(specs))))
 			lat = append(lat, sum/float64(len(specs)))
 		}
-		t.addf(ipc...)
-		t.addf(lat...)
+		t.Addf(ipc...)
+		t.Addf(lat...)
 	}
-	t.write(w)
-	return nil
+	rep.add(t,
+		"Fig. 16: centralized vs distributed back-ends (Excess class average). Paper",
+		"shape: FIFO allocation spreads page-copy commands uniformly, so the distributed",
+		"organization matches the centralized one.")
+	return rep, nil
 }

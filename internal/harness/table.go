@@ -6,17 +6,22 @@ import (
 	"strings"
 )
 
-// table renders aligned text tables for experiment output.
-type table struct {
-	header []string
-	rows   [][]string
+// Table is an experiment's row/column data: a header plus pre-formatted
+// cells. It renders as aligned text (Write) and marshals directly to JSON or
+// CSV through the exported fields.
+type Table struct {
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
-func newTable(header ...string) *table {
-	return &table{header: header}
+// NewTable returns a table with the given column header.
+func NewTable(header ...string) *Table {
+	return &Table{Header: header}
 }
 
-func (t *table) addf(cells ...interface{}) {
+// Addf appends a row, formatting float64 cells as %.2f and everything else
+// with fmt.Sprint.
+func (t *Table) Addf(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -26,19 +31,21 @@ func (t *table) addf(cells ...interface{}) {
 			row[i] = fmt.Sprint(v)
 		}
 	}
-	t.rows = append(t.rows, row)
+	t.Rows = append(t.Rows, row)
 }
 
-func (t *table) add(cells ...string) {
-	t.rows = append(t.rows, cells)
+// Add appends a row of pre-formatted cells.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
 }
 
-func (t *table) write(w io.Writer) {
-	widths := make([]int, len(t.header))
-	for i, h := range t.header {
+// Write renders the table as aligned text.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
-	for _, r := range t.rows {
+	for _, r := range t.Rows {
 		for i, c := range r {
 			if i < len(widths) && len(c) > widths[i] {
 				widths[i] = len(c)
@@ -56,13 +63,13 @@ func (t *table) write(w io.Writer) {
 		}
 		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
-	line(t.header)
-	sep := make([]string, len(t.header))
+	line(t.Header)
+	sep := make([]string, len(t.Header))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	line(sep)
-	for _, r := range t.rows {
+	for _, r := range t.Rows {
 		line(r)
 	}
 }

@@ -1,8 +1,8 @@
 package harness
 
 import (
+	"context"
 	"fmt"
-	"io"
 
 	"nomad/internal/workload"
 )
@@ -34,7 +34,7 @@ func init() {
 	})
 }
 
-func runTable1(opts Options, w io.Writer) error {
+func runTable1(ctx context.Context, opts Options) (*Report, error) {
 	specs := workload.Specs()
 	runs := make([]Run, 0, len(specs))
 	for _, sp := range specs {
@@ -42,26 +42,26 @@ func runTable1(opts Options, w io.Writer) error {
 		cfg.Scheme = "Ideal"
 		runs = append(runs, Run{Key: sp.Abbr, Cfg: cfg, Spec: sp})
 	}
-	res, err := Execute(opts, w, runs)
+	res, err := Execute(ctx, opts, runs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Fprintln(w, "Table I: workload characteristics (measured under Ideal config; paper values in parens).")
-	fmt.Fprintln(w, "RMHB = required miss-handling bandwidth of off-package memory; MPMS = LLC misses/us.")
-	fmt.Fprintln(w, "Footprints are the paper's scaled 1/64 (see DESIGN.md); class boundaries are relative")
-	fmt.Fprintf(w, "to the scaled off-package bandwidth of 25.6 GB/s.\n\n")
-
-	t := newTable("Class", "Workload", "RMHB GB/s", "(paper)", "LLC MPMS", "(paper)", "Footprint MB", "(paper GB)", "IdealIPC")
+	rep := newReport("table1", res)
+	t := NewTable("Class", "Workload", "RMHB GB/s", "(paper)", "LLC MPMS", "(paper)", "Footprint MB", "(paper GB)", "IdealIPC")
 	for _, sp := range specs {
 		r := res[sp.Abbr]
 		p := paperTable1[sp.Abbr]
-		t.addf(sp.Class, sp.Abbr,
+		t.Addf(sp.Class, sp.Abbr,
 			r.RMHBGBs, fmt.Sprintf("(%.1f)", p[0]),
 			r.LLCMPMS, fmt.Sprintf("(%.1f)", p[1]),
 			float64(sp.FootprintBytes())/(1024*1024), fmt.Sprintf("(%.1f)", p[2]),
 			r.IPC)
 	}
-	t.write(w)
-	return nil
+	rep.add(t,
+		"Table I: workload characteristics (measured under Ideal config; paper values in parens).",
+		"RMHB = required miss-handling bandwidth of off-package memory; MPMS = LLC misses/us.",
+		"Footprints are the paper's scaled 1/64 (see DESIGN.md); class boundaries are relative",
+		"to the scaled off-package bandwidth of 25.6 GB/s.")
+	return rep, nil
 }

@@ -96,6 +96,13 @@ type Engine struct {
 	seq     uint64
 	events  eventHeap
 	tickers []Ticker
+
+	// Sampling hook: fn runs every sampleEvery cycles (metrics time
+	// series). Kept separate from tickers because it fires at window
+	// granularity, not per cycle.
+	sampleEvery uint64
+	sampleFn    func(now uint64)
+	nextSample  uint64
 }
 
 // New returns an Engine at cycle 0 with no pending work.
@@ -130,15 +137,40 @@ func (e *Engine) At(cycle uint64, fn func()) {
 	e.events.push(event{cycle: cycle, seq: e.seq, fn: fn})
 }
 
+// SetSampler registers fn to run every `every` cycles, after that cycle's
+// tickers and events. The metrics registry hangs its time-series sampling
+// off this hook. A nil fn or zero period disables sampling.
+func (e *Engine) SetSampler(every uint64, fn func(now uint64)) {
+	if every == 0 || fn == nil {
+		e.sampleFn = nil
+		return
+	}
+	e.sampleEvery = every
+	e.sampleFn = fn
+	e.nextSample = e.now + every
+}
+
+// SampleWindow returns the configured sampling period (0 when disabled).
+func (e *Engine) SampleWindow() uint64 {
+	if e.sampleFn == nil {
+		return 0
+	}
+	return e.sampleEvery
+}
+
 // Step advances the clock by one cycle: tickers first, then every event due
 // at the new cycle (including events those events schedule for the same
-// cycle).
+// cycle), then the sampler if its window elapsed.
 func (e *Engine) Step() {
 	e.now++
 	for _, t := range e.tickers {
 		t.Tick(e.now)
 	}
 	e.drain()
+	if e.sampleFn != nil && e.now >= e.nextSample {
+		e.sampleFn(e.now)
+		e.nextSample += e.sampleEvery
+	}
 }
 
 // drain runs all events due at or before the current cycle.

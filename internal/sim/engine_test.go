@@ -171,3 +171,25 @@ func TestEventOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSampler(t *testing.T) {
+	e := New()
+	var fired []uint64
+	e.SetSampler(10, func(now uint64) { fired = append(fired, now) })
+	if e.SampleWindow() != 10 {
+		t.Fatalf("SampleWindow = %d", e.SampleWindow())
+	}
+	e.Run(35)
+	if len(fired) != 3 || fired[0] != 10 || fired[1] != 20 || fired[2] != 30 {
+		t.Fatalf("sampler fired at %v, want [10 20 30]", fired)
+	}
+	// Disabling stops further samples.
+	e.SetSampler(0, nil)
+	if e.SampleWindow() != 0 {
+		t.Fatal("SampleWindow not zero after disable")
+	}
+	e.Run(20)
+	if len(fired) != 3 {
+		t.Fatalf("sampler fired after disable: %v", fired)
+	}
+}

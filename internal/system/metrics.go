@@ -1,0 +1,111 @@
+package system
+
+import (
+	"fmt"
+
+	"nomad/internal/metrics"
+	"nomad/internal/schemes"
+)
+
+// registerMetrics builds the machine's stats registry and wires every
+// component into it. Registration is lazy (closures over live counters), so
+// the simulation hot paths are untouched; only histograms and the optional
+// trace write during simulation, into fixed pre-allocated storage.
+//
+// The naming scheme (documented in DESIGN.md) is a dotted lowercase path:
+//
+//	core.<i>.*     per-CPU retirement and stall counters
+//	cache.l1.<i>.* / cache.l2.<i>.* / cache.llc.*   SRAM hierarchy
+//	hbm.* / ddr.*  DRAM devices (incl. per-bank row-buffer outcomes)
+//	scheme.*       post-LLC access path of the scheme under test
+//	frontend.*     OS tag-management routines (TDC, NOMAD)
+//	backend.*      PCSHR/copy-buffer hardware (NOMAD)
+//	sim.* / os.*   whole-machine time series
+func (m *Machine) registerMetrics() {
+	window := m.cfg.SampleWindow
+	if window == 0 {
+		window = DefaultSampleWindow
+	}
+	reg := metrics.NewRegistry(window)
+	m.reg = reg
+	if m.cfg.TraceDepth > 0 {
+		reg.EnableTrace(m.cfg.TraceDepth)
+	}
+
+	for i, c := range m.cores {
+		s := c.Stats()
+		p := fmt.Sprintf("core.%d", i)
+		reg.CounterFunc(p+".instructions", func() uint64 { return s.Instructions })
+		reg.CounterFunc(p+".cycles", func() uint64 { return s.Cycles })
+		reg.CounterFunc(p+".loads", func() uint64 { return s.Loads })
+		reg.CounterFunc(p+".stores", func() uint64 { return s.Stores })
+		reg.CounterFunc(p+".os_blocked_cycles", func() uint64 { return s.OSBlockedCycles })
+		reg.CounterFunc(p+".mem_stall_cycles", func() uint64 { return s.MemStallCycles })
+		reg.CounterFunc(p+".front_stall_cycles", func() uint64 { return s.FrontStallCycles })
+		reg.CounterFunc(p+".os_block_events", func() uint64 { return s.OSBlockEvents })
+	}
+
+	m.llc.RegisterMetrics(reg, "cache.llc")
+	for i := range m.l1s {
+		m.l1s[i].RegisterMetrics(reg, fmt.Sprintf("cache.l1.%d", i))
+		m.l2s[i].RegisterMetrics(reg, fmt.Sprintf("cache.l2.%d", i))
+	}
+
+	m.hbm.RegisterMetrics(reg, "hbm")
+	m.ddr.RegisterMetrics(reg, "ddr")
+	m.hbm.SetTrace(reg.Trace())
+	m.ddr.SetTrace(reg.Trace())
+
+	switch sc := m.scheme.(type) {
+	case *schemes.Baseline:
+		registerAccess(reg, sc.AccessStats())
+	case *schemes.TiD:
+		registerAccess(reg, sc.AccessStats())
+		t := sc.TiDStats()
+		reg.CounterFunc("scheme.tid.hits", func() uint64 { return t.Hits })
+		reg.CounterFunc("scheme.tid.misses", func() uint64 { return t.Misses })
+		reg.CounterFunc("scheme.tid.coalesced", func() uint64 { return t.Coalesced })
+		reg.CounterFunc("scheme.tid.writebacks", func() uint64 { return t.Writebacks })
+		reg.CounterFunc("scheme.tid.mshr_stalls", func() uint64 { return t.MSHRStalls })
+	case *schemes.TDC:
+		registerAccess(reg, sc.AccessStats())
+		sc.Frontend().RegisterMetrics(reg, "frontend")
+	case *schemes.NOMAD:
+		registerAccess(reg, sc.AccessStats())
+		sc.Frontend().RegisterMetrics(reg, "frontend")
+		sc.Backend().RegisterMetrics(reg, "backend")
+	case *schemes.Ideal:
+		registerAccess(reg, sc.AccessStats())
+		reg.CounterFunc("scheme.tag_misses", func() uint64 { return sc.TagMisses })
+		reg.CounterFunc("scheme.would_fill_bytes", func() uint64 { return sc.WouldFillBytes })
+	}
+
+	// Whole-machine time series, sampled once per window by the engine.
+	var prevInstr, prevCycle uint64
+	reg.SeriesFunc("sim.ipc", func(now uint64) float64 {
+		var instr uint64
+		for _, c := range m.cores {
+			instr += c.Stats().Instructions
+		}
+		d, dc := instr-prevInstr, now-prevCycle
+		prevInstr, prevCycle = instr, now
+		if dc == 0 {
+			return 0
+		}
+		return float64(d) / float64(dc)
+	})
+	reg.SeriesFunc("os.free_frames", func(now uint64) float64 {
+		return float64(m.mm.FreeFrames())
+	})
+
+	m.eng.SetSampler(window, reg.Sample)
+}
+
+// registerAccess exposes the scheme-agnostic post-LLC access counters.
+func registerAccess(reg *metrics.Registry, a *schemes.AccessStats) {
+	reg.CounterFunc("scheme.reads", func() uint64 { return a.Reads })
+	reg.CounterFunc("scheme.read_latency_sum", func() uint64 { return a.ReadLatencySum })
+	reg.CounterFunc("scheme.writes", func() uint64 { return a.Writes })
+	reg.CounterFunc("scheme.cache_space_reads", func() uint64 { return a.CacheSpaceReads })
+	reg.CounterFunc("scheme.phys_space_reads", func() uint64 { return a.PhysSpaceReads })
+}

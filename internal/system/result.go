@@ -3,16 +3,13 @@ package system
 import (
 	"fmt"
 
-	"nomad/internal/cache"
-	"nomad/internal/core"
-	"nomad/internal/cpu"
-	"nomad/internal/dram"
 	"nomad/internal/mem"
-	"nomad/internal/schemes"
+	"nomad/internal/metrics"
 )
 
 // Result is the measured region-of-interest outcome of one run. All rates
-// use the 3.2 GHz clock.
+// use the 3.2 GHz clock. The scalar fields are derived views over Metrics,
+// the full ROI stats snapshot.
 type Result struct {
 	Scheme   SchemeName
 	Workload string
@@ -76,6 +73,10 @@ type Result struct {
 
 	Evictions      uint64
 	DirtyEvictions uint64
+
+	// Metrics is the full ROI metrics snapshot (counters, gauges,
+	// histograms, time series) the fields above are computed from.
+	Metrics *metrics.Snapshot
 }
 
 // String renders a one-line summary.
@@ -85,74 +86,22 @@ func (r *Result) String() string {
 		r.AvgTagMgmtLatency, r.HBMGBs, r.OffPkgGBs)
 }
 
-// snapshot captures all counters at the warmup/ROI boundary so the Result
-// reflects only the measured region.
-type snapshot struct {
-	cores          []cpu.Stats
-	hbm            dram.Stats
-	ddr            dram.Stats
-	llc            cache.Stats
-	access         schemes.AccessStats
-	frontend       core.FrontendStats
-	backend        core.BackendStats
-	tid            schemes.TiDStats
-	idealFill      uint64
-	idealTagMisses uint64
-}
+// result derives the ROI Result from the registry snapshot. Absent metrics
+// (a scheme without a front-end, say) read as zero, which keeps the
+// computation scheme-agnostic except where the paper's definitions differ.
+func (m *Machine) result(snap *metrics.Snapshot) *Result {
+	r := &Result{Scheme: m.cfg.Scheme, Workload: m.workload, Cores: len(m.cores), Metrics: snap}
 
-func (m *Machine) snapshot() snapshot {
-	s := snapshot{
-		cores: make([]cpu.Stats, len(m.cores)),
-		hbm:   *m.hbm.Stats(),
-		ddr:   *m.ddr.Stats(),
-		llc:   *m.llc.Stats(),
-	}
-	for i, c := range m.cores {
-		s.cores[i] = *c.Stats()
-	}
-	switch sc := m.scheme.(type) {
-	case *schemes.Baseline:
-		s.access = *sc.AccessStats()
-	case *schemes.TiD:
-		s.access = *sc.AccessStats()
-		s.tid = *sc.TiDStats()
-	case *schemes.TDC:
-		s.access = *sc.AccessStats()
-		s.frontend = *sc.Frontend().Stats()
-	case *schemes.NOMAD:
-		s.access = *sc.AccessStats()
-		s.frontend = *sc.Frontend().Stats()
-		s.backend = *sc.Backend().Stats()
-	case *schemes.Ideal:
-		s.access = *sc.AccessStats()
-		s.idealFill = sc.WouldFillBytes
-		s.idealTagMisses = sc.TagMisses
-	}
-	return s
-}
-
-func sumBytes(b [mem.NumKinds]uint64) uint64 {
-	var t uint64
-	for _, v := range b {
-		t += v
-	}
-	return t
-}
-
-// result computes the ROI Result as the difference against the snapshot.
-func (m *Machine) result(s snapshot) *Result {
-	r := &Result{Scheme: m.cfg.Scheme, Workload: m.workload, Cores: len(m.cores)}
-
-	cycles := m.cores[0].Stats().Cycles - s.cores[0].Cycles
+	cycles := snap.Cycles
 	r.Cycles = cycles
 	r.Seconds = float64(cycles) / ClockHz
 
 	var osStall, memStall uint64
-	for i, c := range m.cores {
-		cs := c.Stats()
-		r.Instructions += cs.Instructions - s.cores[i].Instructions
-		osStall += cs.OSBlockedCycles - s.cores[i].OSBlockedCycles
-		memStall += cs.MemStallCycles - s.cores[i].MemStallCycles
+	for i := range m.cores {
+		p := fmt.Sprintf("core.%d", i)
+		r.Instructions += snap.Counter(p + ".instructions")
+		osStall += snap.Counter(p + ".os_blocked_cycles")
+		memStall += snap.Counter(p + ".mem_stall_cycles")
 	}
 	totalCoreCycles := cycles * uint64(len(m.cores))
 	if cycles > 0 {
@@ -162,76 +111,58 @@ func (m *Machine) result(s snapshot) *Result {
 	}
 
 	// LLC.
-	llc := m.llc.Stats()
-	r.LLCMisses = llc.Misses - s.llc.Misses
+	r.LLCMisses = snap.Counter("cache.llc.misses")
 	if r.Seconds > 0 {
 		r.LLCMPMS = float64(r.LLCMisses) / (r.Seconds * 1e6)
 	}
 
 	// DRAM devices.
-	hbm, ddr := m.hbm.Stats(), m.ddr.Stats()
 	for k := 0; k < mem.NumKinds; k++ {
-		r.HBMBytesByKind[k] = hbm.BytesByKind[k] - s.hbm.BytesByKind[k]
-		r.DDRBytesByKind[k] = ddr.BytesByKind[k] - s.ddr.BytesByKind[k]
+		kind := mem.Kind(k).String()
+		r.HBMBytesByKind[k] = snap.Counter("hbm.bytes." + kind)
+		r.DDRBytesByKind[k] = snap.Counter("ddr.bytes." + kind)
 	}
-	hbmBursts := (hbm.RowHits + hbm.RowMisses + hbm.RowConflicts) -
-		(s.hbm.RowHits + s.hbm.RowMisses + s.hbm.RowConflicts)
+	hbmBursts := snap.Counter("hbm.row_hits") + snap.Counter("hbm.row_misses") + snap.Counter("hbm.row_conflicts")
 	if hbmBursts > 0 {
-		r.HBMRowHitRate = float64(hbm.RowHits-s.hbm.RowHits) / float64(hbmBursts)
+		r.HBMRowHitRate = float64(snap.Counter("hbm.row_hits")) / float64(hbmBursts)
 	}
 	if cycles > 0 {
-		r.HBMUtilization = float64(hbm.BusBusyCycles-s.hbm.BusBusyCycles) /
+		r.HBMUtilization = float64(snap.Counter("hbm.bus_busy_cycles")) /
 			float64(cycles*uint64(m.cfg.HBM.Channels))
-		r.DDRUtilization = float64(ddr.BusBusyCycles-s.ddr.BusBusyCycles) /
+		r.DDRUtilization = float64(snap.Counter("ddr.bus_busy_cycles")) /
 			float64(cycles*uint64(m.cfg.DDR.Channels))
 	}
 	if r.Seconds > 0 {
 		r.HBMGBs = float64(sumBytes(r.HBMBytesByKind)) / r.Seconds / 1e9
 		r.OffPkgGBs = float64(sumBytes(r.DDRBytesByKind)) / r.Seconds / 1e9
 	}
-	r.HBMAvgReadLat = diffAvg(hbm.ReadLatencySum-s.hbm.ReadLatencySum, hbm.ReadCount-s.hbm.ReadCount)
-	r.DDRAvgReadLat = diffAvg(ddr.ReadLatencySum-s.ddr.ReadLatencySum, ddr.ReadCount-s.ddr.ReadCount)
+	r.HBMAvgReadLat = diffAvg(snap.Counter("hbm.read_latency_sum"), snap.Counter("hbm.read_count"))
+	r.DDRAvgReadLat = diffAvg(snap.Counter("ddr.read_latency_sum"), snap.Counter("ddr.read_count"))
+
+	// Post-LLC access path (uniform across schemes).
+	r.AvgDCAccessTime = diffAvg(snap.Counter("scheme.read_latency_sum"), snap.Counter("scheme.reads"))
 
 	// Scheme-specific measures.
-	switch sc := m.scheme.(type) {
-	case *schemes.Baseline:
-		a := *sc.AccessStats()
-		r.AvgDCAccessTime = diffAvg(a.ReadLatencySum-s.access.ReadLatencySum, a.Reads-s.access.Reads)
-	case *schemes.TiD:
-		a := *sc.AccessStats()
-		r.AvgDCAccessTime = diffAvg(a.ReadLatencySum-s.access.ReadLatencySum, a.Reads-s.access.Reads)
-	case *schemes.TDC:
-		a := *sc.AccessStats()
-		r.AvgDCAccessTime = diffAvg(a.ReadLatencySum-s.access.ReadLatencySum, a.Reads-s.access.Reads)
-		f := *sc.Frontend().Stats()
-		r.TagMisses = f.TagMisses - s.frontend.TagMisses
-		r.AvgTagMgmtLatency = diffAvg(f.TagMgmtLatencySum-s.frontend.TagMgmtLatencySum, r.TagMisses)
-		r.MaxTagMgmtLatency = f.TagMgmtLatencyMax
-		r.Evictions = f.Evictions - s.frontend.Evictions
-		r.DirtyEvictions = f.DirtyEvictions - s.frontend.DirtyEvictions
-	case *schemes.NOMAD:
-		a := *sc.AccessStats()
-		r.AvgDCAccessTime = diffAvg(a.ReadLatencySum-s.access.ReadLatencySum, a.Reads-s.access.Reads)
-		f := *sc.Frontend().Stats()
-		r.TagMisses = f.TagMisses - s.frontend.TagMisses
-		r.AvgTagMgmtLatency = diffAvg(f.TagMgmtLatencySum-s.frontend.TagMgmtLatencySum, r.TagMisses)
-		r.MaxTagMgmtLatency = f.TagMgmtLatencyMax
-		r.Evictions = f.Evictions - s.frontend.Evictions
-		r.DirtyEvictions = f.DirtyEvictions - s.frontend.DirtyEvictions
-		b := *sc.Backend().Stats()
-		r.DataHits = b.DataHits - s.backend.DataHits
-		r.DataMisses = b.DataMisses - s.backend.DataMisses
-		if r.DataMisses > 0 {
-			r.BufferHitRate = float64(b.BufferHits-s.backend.BufferHits) / float64(r.DataMisses)
-		}
-		r.SubEntryOverflows = b.SubEntryOverflows - s.backend.SubEntryOverflows
-	case *schemes.Ideal:
-		a := *sc.AccessStats()
-		r.AvgDCAccessTime = diffAvg(a.ReadLatencySum-s.access.ReadLatencySum, a.Reads-s.access.Reads)
-		r.TagMisses = sc.TagMisses - s.idealTagMisses
+	switch m.cfg.Scheme {
+	case SchemeTDC, SchemeNOMAD:
+		r.TagMisses = snap.Counter("frontend.tag_misses")
+		r.AvgTagMgmtLatency = diffAvg(snap.Counter("frontend.tag_mgmt_latency_sum"), r.TagMisses)
+		r.MaxTagMgmtLatency = uint64(snap.Gauge("frontend.tag_mgmt_latency_max"))
+		r.Evictions = snap.Counter("frontend.evictions")
+		r.DirtyEvictions = snap.Counter("frontend.dirty_evictions")
+	case SchemeIdeal:
+		r.TagMisses = snap.Counter("scheme.tag_misses")
 		if r.Seconds > 0 {
-			r.RMHBGBs = float64(sc.WouldFillBytes-s.idealFill) / r.Seconds / 1e9
+			r.RMHBGBs = float64(snap.Counter("scheme.would_fill_bytes")) / r.Seconds / 1e9
 		}
+	}
+	if m.cfg.Scheme == SchemeNOMAD {
+		r.DataHits = snap.Counter("backend.data_hits")
+		r.DataMisses = snap.Counter("backend.data_misses")
+		if r.DataMisses > 0 {
+			r.BufferHitRate = float64(snap.Counter("backend.buffer_hits")) / float64(r.DataMisses)
+		}
+		r.SubEntryOverflows = snap.Counter("backend.sub_entry_overflows")
 	}
 	if m.cfg.Scheme != SchemeIdeal && r.Seconds > 0 {
 		// Measured miss-handling bandwidth: fill reads from off-package
@@ -239,6 +170,14 @@ func (m *Machine) result(s snapshot) *Result {
 		r.RMHBGBs = float64(r.DDRBytesByKind[mem.KindFill]) / r.Seconds / 1e9
 	}
 	return r
+}
+
+func sumBytes(b [mem.NumKinds]uint64) uint64 {
+	var t uint64
+	for _, v := range b {
+		t += v
+	}
+	return t
 }
 
 func diffAvg(sum, n uint64) float64 {

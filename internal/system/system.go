@@ -5,6 +5,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"nomad/internal/cache"
@@ -12,6 +13,7 @@ import (
 	"nomad/internal/cpu"
 	"nomad/internal/dram"
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/osmem"
 	"nomad/internal/schemes"
 	"nomad/internal/sim"
@@ -21,6 +23,11 @@ import (
 
 // ClockHz is the CPU clock; all cycle counts convert to wall time with it.
 const ClockHz = 3.2e9
+
+// DefaultSampleWindow is the metrics time-series sampling period (in cycles)
+// used when Config.SampleWindow is zero. It is also the granularity at which
+// RunContext checks for cancellation.
+const DefaultSampleWindow = 8192
 
 // SchemeName selects the memory scheme under test.
 type SchemeName string
@@ -61,6 +68,13 @@ type Config struct {
 	// MaxCycles bounds a run (safety for pathological configurations).
 	MaxCycles uint64
 	Seed      uint64
+
+	// SampleWindow is the metrics time-series sampling period in cycles;
+	// 0 selects DefaultSampleWindow.
+	SampleWindow uint64
+	// TraceDepth, when positive, enables the typed event-trace ring
+	// buffer with that many entries.
+	TraceDepth int
 }
 
 // DefaultConfig returns the Table II-derived evaluation configuration at the
@@ -101,6 +115,7 @@ type Machine struct {
 	l1s      []*cache.Cache
 	l2s      []*cache.Cache
 	llc      *cache.Cache
+	reg      *metrics.Registry
 }
 
 // threadAdapter lets the OS front-end suspend cores without the core
@@ -222,11 +237,15 @@ func New(cfg Config, spec workload.Spec) (*Machine, error) {
 	case *schemes.Ideal:
 		sc.SetShootdowner(shootdowner{m})
 	}
+	m.registerMetrics()
 	return m, nil
 }
 
 // Engine exposes the simulation clock (tests).
 func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Metrics exposes the machine's stats registry.
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
 
 // Scheme exposes the scheme under test (tests, stats).
 func (m *Machine) Scheme() schemes.Scheme { return m.scheme }
@@ -236,8 +255,10 @@ func (m *Machine) Cores() []*cpu.Core { return m.cores }
 
 // runUntilRetired advances until every core has retired at least target
 // additional instructions (relative to the given baselines) or maxCycles
-// pass. It returns false on timeout.
-func (m *Machine) runUntilRetired(base []uint64, target uint64, maxCycles uint64) bool {
+// pass. It runs in sampling-window-sized chunks, checking ctx between
+// chunks, so cancellation is honoured within one window of simulated time.
+// It returns false on timeout and a non-nil error only on cancellation.
+func (m *Machine) runUntilRetired(ctx context.Context, base []uint64, target uint64, maxCycles uint64) (bool, error) {
 	pred := func() bool {
 		for i, c := range m.cores {
 			if c.Stats().Instructions-base[i] < target {
@@ -246,25 +267,61 @@ func (m *Machine) runUntilRetired(base []uint64, target uint64, maxCycles uint64
 		}
 		return true
 	}
-	return m.eng.RunUntil(pred, maxCycles)
+	chunk := m.eng.SampleWindow()
+	if chunk == 0 {
+		chunk = DefaultSampleWindow
+	}
+	var elapsed uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		step := chunk
+		if rem := maxCycles - elapsed; step > rem {
+			step = rem
+		}
+		if m.eng.RunUntil(pred, step) {
+			return true, nil
+		}
+		elapsed += step
+		if elapsed >= maxCycles {
+			return false, nil
+		}
+	}
 }
 
 // Run performs warmup then the measured region of interest and returns the
 // Result. An error is returned only on timeout (MaxCycles exceeded).
 func (m *Machine) Run() (*Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: ctx is checked at engine
+// sampling-window boundaries (Config.SampleWindow cycles, default
+// DefaultSampleWindow), so a cancelled run stops within one window of
+// simulated time and returns ctx.Err().
+func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	cfg := m.cfg
 	base := make([]uint64, len(m.cores))
 	if cfg.WarmupInstructions > 0 {
-		if !m.runUntilRetired(base, cfg.WarmupInstructions, cfg.MaxCycles) {
+		ok, err := m.runUntilRetired(ctx, base, cfg.WarmupInstructions, cfg.MaxCycles)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
 			return nil, fmt.Errorf("system: warmup exceeded %d cycles (scheme %s)", cfg.MaxCycles, cfg.Scheme)
 		}
 	}
-	snap := m.snapshot()
+	m.reg.MarkROI(m.eng.Now())
 	for i, c := range m.cores {
 		base[i] = c.Stats().Instructions
 	}
-	if !m.runUntilRetired(base, cfg.ROIInstructions, cfg.MaxCycles) {
+	ok, err := m.runUntilRetired(ctx, base, cfg.ROIInstructions, cfg.MaxCycles)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
 		return nil, fmt.Errorf("system: ROI exceeded %d cycles (scheme %s)", cfg.MaxCycles, cfg.Scheme)
 	}
-	return m.result(snap), nil
+	return m.result(m.reg.Snapshot(m.eng.Now())), nil
 }

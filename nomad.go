@@ -25,6 +25,7 @@
 package nomad
 
 import (
+	"context"
 	"fmt"
 
 	"nomad/internal/system"
@@ -79,6 +80,13 @@ type Config struct {
 	ROIInstructions    uint64
 	// Seed perturbs workload address streams deterministically.
 	Seed uint64
+}
+
+func (c Config) effectiveScheme() Scheme {
+	if c.Scheme == "" {
+		return SchemeNOMAD
+	}
+	return c.Scheme
 }
 
 func (c Config) toInternal() system.Config {
@@ -224,14 +232,27 @@ func NewWorkload(cs CustomSpec) Workload {
 // Run simulates one (configuration, workload) pair: warmup, then a measured
 // region of interest. It is deterministic for fixed inputs and safe to call
 // from multiple goroutines concurrently (each call builds its own machine).
+// It is RunContext with a background context.
 func Run(cfg Config, w Workload) (*Result, error) {
+	return RunContext(context.Background(), cfg, w)
+}
+
+// RunContext is Run with cancellation. The simulation checks ctx at engine
+// sampling-window boundaries (8192 cycles — microseconds of wall time), so a
+// cancelled run returns promptly without a partial Result. Errors are typed:
+// every failure returns a *Error wrapping the cause, so
+// errors.Is(err, context.Canceled) reports a cancelled run.
+func RunContext(ctx context.Context, cfg Config, w Workload) (*Result, error) {
+	fail := func(op string, err error) error {
+		return &Error{Op: op, Scheme: cfg.effectiveScheme(), Workload: w.Abbr(), Err: err}
+	}
 	m, err := system.New(cfg.toInternal(), w.spec)
 	if err != nil {
-		return nil, err
+		return nil, fail("configure", err)
 	}
-	r, err := m.Run()
+	r, err := m.RunContext(ctx)
 	if err != nil {
-		return nil, err
+		return nil, fail("run", err)
 	}
 	return fromInternal(r), nil
 }

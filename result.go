@@ -22,6 +22,10 @@ const (
 
 func (k BandwidthKind) String() string { return mem.Kind(k).String() }
 
+// The public traffic enum must track the internal one; this fails to compile
+// if the internal categories change without this file following.
+var _ [numTraffic]struct{} = [mem.NumKinds]struct{}{}
+
 // Result holds the measurements of one simulation's region of interest.
 // Rates use the 3.2 GHz clock.
 type Result struct {
@@ -62,7 +66,7 @@ type Result struct {
 	// HBMBreakdownGBs splits on-package traffic by category (Fig. 10).
 	HBMBandwidthGBs    float64
 	OffPkgBandwidthGBs float64
-	HBMBreakdownGBs    [5]float64
+	HBMBreakdownGBs    [numTraffic]float64
 	HBMRowHitRate      float64
 	HBMUtilization     float64
 	DDRUtilization     float64
@@ -80,7 +84,14 @@ type Result struct {
 
 	Evictions      uint64
 	DirtyEvictions uint64
+
+	metrics *Snapshot
 }
+
+// Metrics returns the full ROI metrics snapshot the scalar fields above are
+// derived from: every counter, gauge, histogram and time series under its
+// stable dotted name (see DESIGN.md for the naming scheme).
+func (r *Result) Metrics() *Snapshot { return r.metrics }
 
 // Breakdown returns the on-package bandwidth of one traffic category.
 func (r *Result) Breakdown(k BandwidthKind) float64 {
@@ -126,6 +137,7 @@ func fromInternal(r *system.Result) *Result {
 		SubEntryOverflows:  r.SubEntryOverflows,
 		Evictions:          r.Evictions,
 		DirtyEvictions:     r.DirtyEvictions,
+		metrics:            fromSnapshot(r.Metrics),
 	}
 	if r.Seconds > 0 {
 		for k := 0; k < mem.NumKinds; k++ {

@@ -1,0 +1,107 @@
+package nomad
+
+import "nomad/internal/metrics"
+
+// Snapshot is the full region-of-interest metrics snapshot of one run: every
+// counter, gauge, histogram and time series the simulator maintains, keyed by
+// stable dotted names (documented in DESIGN.md). The scalar Result fields are
+// derived views over it.
+//
+// Counter values are ROI deltas; gauges are instantaneous at ROI end;
+// histogram count/sum/buckets are ROI deltas while min/max span the whole
+// run; series are sampled every Window cycles during the ROI.
+//
+// The JSON encoding is deterministic: map keys marshal sorted, and every
+// value derives from simulated state, never the wall clock — two same-seed
+// runs marshal byte-identically.
+type Snapshot struct {
+	// Cycles is the span covered by the snapshot (the measured ROI).
+	Cycles uint64 `json:"cycles"`
+	// Window is the series sampling period in cycles.
+	Window     uint64               `json:"window,omitempty"`
+	Counters   map[string]uint64    `json:"counters"`
+	Gauges     map[string]float64   `json:"gauges,omitempty"`
+	Histograms map[string]Histogram `json:"histograms,omitempty"`
+	Series     map[string]Series    `json:"series,omitempty"`
+}
+
+// Counter returns a counter by name, 0 if absent (schemes register only the
+// metrics they have, so absence reads as zero).
+func (s *Snapshot) Counter(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
+
+// Gauge returns a gauge by name, 0 if absent.
+func (s *Snapshot) Gauge(name string) float64 {
+	if s == nil {
+		return 0
+	}
+	return s.Gauges[name]
+}
+
+// Histogram is one latency/occupancy distribution in log2 buckets.
+type Histogram struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Min   uint64 `json:"min"`
+	Max   uint64 `json:"max"`
+	// Buckets lists only non-empty log2 buckets in ascending order.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean observation.
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// HistogramBucket holds Count observations in the inclusive range [Lo, Hi].
+type HistogramBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Series is one time series: Values[i] was sampled at cycle Cycles[i].
+type Series struct {
+	Window uint64    `json:"window"`
+	Cycles []uint64  `json:"cycles"`
+	Values []float64 `json:"values"`
+}
+
+func fromSnapshot(s *metrics.Snapshot) *Snapshot {
+	if s == nil {
+		return nil
+	}
+	out := &Snapshot{
+		Cycles:   s.Cycles,
+		Window:   s.Window,
+		Counters: s.Counters,
+		Gauges:   s.Gauges,
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]Histogram, len(s.Histograms))
+		for name, h := range s.Histograms {
+			buckets := make([]HistogramBucket, len(h.Buckets))
+			for i, b := range h.Buckets {
+				buckets[i] = HistogramBucket(b)
+			}
+			out.Histograms[name] = Histogram{
+				Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+				Buckets: buckets,
+			}
+		}
+	}
+	if len(s.Series) > 0 {
+		out.Series = make(map[string]Series, len(s.Series))
+		for name, sr := range s.Series {
+			out.Series[name] = Series{Window: sr.Window, Cycles: sr.Cycles, Values: sr.Values}
+		}
+	}
+	return out
+}
