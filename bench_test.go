@@ -67,6 +67,10 @@ func BenchmarkReplacement(b *testing.B) { benchExperiment(b, "replacement") }
 // BenchmarkSelective regenerates the selective-caching study.
 func BenchmarkSelective(b *testing.B) { benchExperiment(b, "selective") }
 
+// BenchmarkCPIStack regenerates the CPI-stack stall attribution table
+// (Fig. 11 style: where every core-cycle went, per scheme).
+func BenchmarkCPIStack(b *testing.B) { benchExperiment(b, "cpistack") }
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
 // cycles per wall second) on the default NOMAD configuration — the number
 // that bounds how fast every artifact regenerates.

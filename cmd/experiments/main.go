@@ -9,11 +9,17 @@
 //	experiments -run fig9 -format json # machine-readable output
 //
 // -format selects the rendering: "text" (default) prints each table/figure
-// as in the paper; "json" emits one JSON array of structured reports —
-// sections plus every underlying run's full metrics snapshot — and is
+// as in the paper; "json" streams one JSON document of the structured report
+// — sections plus every underlying run's full metrics snapshot — per
+// completed experiment, so partial output survives cancellation, and is
 // byte-identical across same-seed invocations; "csv" flattens every table
 // row, prefixed by experiment ID and section index. Progress and timing go
 // to stderr in the machine-readable formats so stdout stays parseable.
+//
+// -trace FILE additionally captures per-access latency spans and machine
+// events in every run and writes one Perfetto/Chrome trace-event JSON file
+// covering all completed runs; open it at https://ui.perfetto.dev. The file
+// is written (with whatever completed) even when the batch is interrupted.
 //
 // -fast trades precision for speed (short warmup/ROI), useful for smoke
 // checks. Interrupting (Ctrl-C) cancels in-flight simulations at their next
@@ -30,11 +36,20 @@ import (
 	"os"
 	"os/signal"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"nomad/internal/harness"
+	"nomad/internal/metrics"
+)
+
+// Trace capture depths used by -trace: large enough that a -fast ROI fits
+// without wrapping, small enough to keep memory per run modest.
+const (
+	traceEventDepth = 1 << 16
+	traceSpanDepth  = 1 << 15
 )
 
 func main() {
@@ -48,6 +63,7 @@ func main() {
 		parallel = flag.Int("p", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print each run's summary line (to stderr)")
 		format   = flag.String("format", "text", "output format: text, json, or csv")
+		traceOut = flag.String("trace", "", "write a Perfetto trace of every run to this file")
 	)
 	flag.Parse()
 
@@ -66,6 +82,10 @@ func main() {
 	defer stop()
 
 	opts := harness.Options{Fast: *fast, Parallelism: *parallel, Verbose: *verbose, Log: os.Stderr}
+	if *traceOut != "" {
+		opts.TraceDepth = traceEventDepth
+		opts.SpanDepth = traceSpanDepth
+	}
 	var exps []harness.Experiment
 	if *runIDs == "all" {
 		exps = harness.All()
@@ -80,7 +100,16 @@ func main() {
 		}
 	}
 
-	var reports []*harness.Report
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	var traceRuns []metrics.PerfettoRun
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		// Flush whatever trace data completed runs produced before exiting,
+		// so an interrupted batch still yields an inspectable trace.
+		flushTrace(*traceOut, traceRuns)
+		os.Exit(1)
+	}
 	for _, e := range exps {
 		start := time.Now()
 		if *format == "text" {
@@ -88,37 +117,72 @@ func main() {
 		}
 		rep, err := e.Run(ctx, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			fail("%s failed: %v", e.ID, err)
 		}
+		traceRuns = append(traceRuns, collectTraces(e.ID, rep)...)
 		elapsed := time.Since(start).Round(time.Millisecond)
 		switch *format {
 		case "text":
 			if err := rep.WriteText(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-				os.Exit(1)
+				fail("%s: %v", e.ID, err)
 			}
 			fmt.Printf("(%s completed in %v)\n\n", e.ID, elapsed)
 		case "csv":
 			if err := writeCSV(os.Stdout, rep); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-				os.Exit(1)
+				fail("%s: %v", e.ID, err)
 			}
 			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, elapsed)
 		case "json":
-			reports = append(reports, rep)
+			// Streamed: one document per completed experiment, so output
+			// survives cancellation mid-batch.
+			if err := enc.Encode(rep); err != nil {
+				fail("%s: encode: %v", e.ID, err)
+			}
 			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, elapsed)
 		}
 	}
+	if err := flushTrace(*traceOut, traceRuns); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-	if *format == "json" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reports); err != nil {
-			fmt.Fprintf(os.Stderr, "encode: %v\n", err)
-			os.Exit(1)
+// collectTraces gathers the per-run trace dumps of one experiment in
+// deterministic (sorted key) order.
+func collectTraces(expID string, rep *harness.Report) []metrics.PerfettoRun {
+	keys := make([]string, 0, len(rep.Runs))
+	for k, res := range rep.Runs {
+		if res.Trace != nil {
+			keys = append(keys, k)
 		}
 	}
+	sort.Strings(keys)
+	runs := make([]metrics.PerfettoRun, len(keys))
+	for i, k := range keys {
+		runs[i] = metrics.PerfettoRun{Name: expID + "/" + k, Dump: rep.Runs[k].Trace}
+	}
+	return runs
+}
+
+// flushTrace writes the Perfetto file when -trace was given and any run
+// produced a dump. A nil error is returned when there is nothing to do.
+func flushTrace(path string, runs []metrics.PerfettoRun) error {
+	if path == "" || len(runs) == 0 {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WritePerfetto(f, runs...); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote Perfetto trace (%d runs) to %s — open at https://ui.perfetto.dev\n", len(runs), path)
+	return nil
 }
 
 // writeCSV flattens every table of the report: each table emits its header

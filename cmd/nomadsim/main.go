@@ -5,6 +5,7 @@
 //
 //	nomadsim -scheme NOMAD -workload cact
 //	nomadsim -scheme TiD -workload pr -cores 4 -pcshrs 8 -roi 2000000
+//	nomadsim -scheme NOMAD -workload sssp -trace out.json   # Perfetto trace
 //	nomadsim -list    # show workloads
 package main
 
@@ -16,6 +17,7 @@ import (
 	"runtime/debug"
 
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/schemes"
 	"nomad/internal/system"
 	"nomad/internal/workload"
@@ -24,18 +26,19 @@ import (
 func main() {
 	debug.SetGCPercent(600)
 	var (
-		scheme  = flag.String("scheme", "NOMAD", "Baseline | TiD | TDC | NOMAD | Ideal")
-		wl      = flag.String("workload", "cact", "Table I workload abbreviation")
-		cores   = flag.Int("cores", 0, "override core count")
-		pcshrs  = flag.Int("pcshrs", 0, "override PCSHR count (NOMAD)")
-		buffers = flag.Int("buffers", 0, "override page copy buffer count (NOMAD)")
-		distrib = flag.Bool("distributed", false, "distributed back-ends (NOMAD)")
-		warmup  = flag.Uint64("warmup", 0, "override warmup instructions per core")
-		roi     = flag.Uint64("roi", 0, "override ROI instructions per core")
-		seed    = flag.Uint64("seed", 0, "override workload seed")
-		touch   = flag.Uint64("touch", 0, "selective caching: cache on Nth walk (OS-managed schemes)")
-		asJSON  = flag.Bool("json", false, "emit the result as JSON")
-		list    = flag.Bool("list", false, "list workloads and exit")
+		scheme   = flag.String("scheme", "NOMAD", "Baseline | TiD | TDC | NOMAD | Ideal")
+		wl       = flag.String("workload", "cact", "Table I workload abbreviation")
+		cores    = flag.Int("cores", 0, "override core count")
+		pcshrs   = flag.Int("pcshrs", 0, "override PCSHR count (NOMAD)")
+		buffers  = flag.Int("buffers", 0, "override page copy buffer count (NOMAD)")
+		distrib  = flag.Bool("distributed", false, "distributed back-ends (NOMAD)")
+		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per core")
+		roi      = flag.Uint64("roi", 0, "override ROI instructions per core")
+		seed     = flag.Uint64("seed", 0, "override workload seed")
+		touch    = flag.Uint64("touch", 0, "selective caching: cache on Nth walk (OS-managed schemes)")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		traceOut = flag.String("trace", "", "write a Perfetto trace to this file (open at ui.perfetto.dev)")
+		list     = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
 
@@ -75,6 +78,10 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Frontend.CacheTouchThreshold = *touch
+	if *traceOut != "" {
+		cfg.TraceDepth = 1 << 16
+		cfg.SpanDepth = 1 << 15
+	}
 
 	m, err := system.New(cfg, sp)
 	if err != nil {
@@ -85,6 +92,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *traceOut != "" && r.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run := metrics.PerfettoRun{Name: *scheme + "/" + sp.Abbr, Dump: r.Trace}
+		if err := metrics.WritePerfetto(f, run); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Perfetto trace to %s — open at https://ui.perfetto.dev\n", *traceOut)
 	}
 
 	if *asJSON {
@@ -105,6 +130,18 @@ func main() {
 	fmt.Printf("IPC (system)        %.3f\n", r.IPC)
 	fmt.Printf("OS stall ratio      %.2f%%\n", 100*r.OSStallRatio)
 	fmt.Printf("mem stall ratio     %.2f%%\n", 100*r.MemStallRatio)
+	if total := r.CPIStack.Total(); total > 0 {
+		st := r.CPIStack
+		pct := func(v uint64) float64 { return 100 * float64(v) / float64(total) }
+		fmt.Printf("cpi stack           compute %.1f%% tag_miss %.1f%% frontend %.1f%%\n",
+			pct(st.Compute), pct(st.TagMiss), pct(st.Frontend))
+		for c := mem.StallCause(0); c < mem.NumStallCauses; c++ {
+			if st.Mem[c] == 0 {
+				continue
+			}
+			fmt.Printf("  mem %-12s    %.1f%%\n", c, pct(st.Mem[c]))
+		}
+	}
 	fmt.Printf("avg DC access time  %.1f cycles\n", r.AvgDCAccessTime)
 	fmt.Printf("LLC misses          %d (%.1f per us)\n", r.LLCMisses, r.LLCMPMS)
 	fmt.Printf("RMHB                %.2f GB/s\n", r.RMHBGBs)

@@ -25,6 +25,12 @@ type ExperimentOptions struct {
 	// Log receives verbose progress output. Nil discards it, except under
 	// RunExperiment, which defaults Log to its output writer.
 	Log io.Writer
+	// TraceDepth/SpanDepth/SpanSampleEvery enable event and span capture
+	// in every underlying run (see Config); each run's Result then
+	// supports WriteTrace.
+	TraceDepth      int
+	SpanDepth       int
+	SpanSampleEvery uint64
 }
 
 // Experiments lists every reproducible table and figure.
@@ -79,10 +85,13 @@ func RunExperimentResult(ctx context.Context, id string, opts ExperimentOptions)
 		return nil, fmt.Errorf("nomad: unknown experiment %q", id)
 	}
 	rep, err := e.Run(ctx, harness.Options{
-		Fast:        opts.Fast,
-		Parallelism: opts.Parallelism,
-		Verbose:     opts.Verbose,
-		Log:         opts.Log,
+		Fast:            opts.Fast,
+		Parallelism:     opts.Parallelism,
+		Verbose:         opts.Verbose,
+		Log:             opts.Log,
+		TraceDepth:      opts.TraceDepth,
+		SpanDepth:       opts.SpanDepth,
+		SpanSampleEvery: opts.SpanSampleEvery,
 	})
 	if err != nil {
 		return nil, err

@@ -80,6 +80,7 @@ type mshr struct {
 	// write records whether any coalesced access was a write (line will
 	// be installed dirty).
 	write bool
+	start uint64 // allocation cycle (miss-latency histogram)
 }
 
 // Cache is one level. It is event-driven: Access schedules the lookup after
@@ -98,6 +99,12 @@ type Cache struct {
 	// mshrOcc samples MSHR occupancy at each allocation (nil until
 	// RegisterMetrics; Observe on nil is a no-op).
 	mshrOcc *metrics.Histogram
+	// missLat records miss-to-fill latency per miss (RegisterMetrics).
+	missLat *metrics.Histogram
+	// spans/spanKind: when set, sampled accesses (Probe.SpanID != 0)
+	// record one span of this level's kind covering the full access.
+	spans    *metrics.SpanRing
+	spanKind metrics.SpanKind
 
 	setMask  uint64
 	setShift uint
@@ -151,6 +158,14 @@ func (c *Cache) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.CounterFunc(prefix+".flushed_lines", func() uint64 { return s.FlushedLines })
 	reg.CounterFunc(prefix+".flush_writebacks", func() uint64 { return s.FlushWBs })
 	c.mshrOcc = reg.Histogram(prefix + ".mshr_occupancy")
+	c.missLat = reg.Histogram(prefix + ".miss_latency")
+}
+
+// SetSpans makes sampled accesses (Probe.SpanID != 0) record one span of
+// the given kind covering this level's access, lookup to completion.
+func (c *Cache) SetSpans(spans *metrics.SpanRing, kind metrics.SpanKind) {
+	c.spans = spans
+	c.spanKind = kind
 }
 
 // Config returns the level's configuration.
@@ -165,6 +180,20 @@ func (c *Cache) tagOf(block uint64) uint64 {
 // invoked when the access completes at this level.
 func (c *Cache) Access(req *mem.Request, done mem.Done) {
 	r := *req // copy: the caller may reuse the request
+	if p := r.Probe; p != nil && p.SpanID != 0 && c.spans != nil {
+		start := c.eng.Now()
+		inner := done
+		id, core := p.SpanID, p.Core
+		done = func() {
+			c.spans.Emit(metrics.Span{
+				ID: id, Kind: c.spanKind, Core: core,
+				Start: start, End: c.eng.Now(),
+			})
+			if inner != nil {
+				inner()
+			}
+		}
+	}
 	c.eng.Schedule(c.cfg.Latency, func() {
 		c.lookup(r, done, false)
 	})
@@ -210,10 +239,13 @@ func (c *Cache) miss(req mem.Request, block uint64, done mem.Done, retried bool)
 	}
 	if len(c.mshrs) >= c.cfg.MSHRs {
 		c.stats.MSHRStalls++
+		if req.Probe != nil {
+			req.Probe.Cause = mem.StallMSHR
+		}
 		c.pending = append(c.pending, pendingAccess{req: req, done: done})
 		return
 	}
-	m := &mshr{block: block, write: req.Write}
+	m := &mshr{block: block, write: req.Write, start: c.eng.Now()}
 	m.waiters = append(m.waiters, waiter{write: req.Write, done: done})
 	c.mshrs[block] = m
 	c.mshrOcc.Observe(uint64(len(c.mshrs)))
@@ -227,6 +259,7 @@ func (c *Cache) miss(req mem.Request, block uint64, done mem.Done, retried bool)
 }
 
 func (c *Cache) fill(m *mshr) {
+	c.missLat.Observe(c.eng.Now() - m.start)
 	block := m.block
 	setIdx := c.setIndex(block)
 	set := c.sets[setIdx]

@@ -144,6 +144,10 @@ func (s *BackendStats) BufferHitRate() float64 {
 type subEntry struct {
 	si   uint
 	done mem.Done
+	// probe/parkedAt carry latency provenance: while parked the probe
+	// reads StallPCSHR, and the wake emits a pcshr_wait span.
+	probe    *mem.Probe
+	parkedAt uint64
 }
 
 type pcshr struct {
@@ -207,6 +211,7 @@ type Backend struct {
 	pcshrOcc *metrics.Histogram
 	bufInUse *metrics.Histogram
 	trace    *metrics.Trace
+	spans    *metrics.SpanRing
 	// onComplete, if set, is called when any command completes (tests).
 	onComplete func(Command)
 }
@@ -273,6 +278,15 @@ func (b *Backend) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	b.pcshrOcc = reg.Histogram(prefix + ".pcshr_occupancy")
 	b.bufInUse = reg.Histogram(prefix + ".buffer_in_use")
 	b.trace = reg.Trace()
+	b.spans = reg.Spans()
+}
+
+// emitSpan records one hop of a sampled access (no-op otherwise).
+func (b *Backend) emitSpan(p *mem.Probe, kind metrics.SpanKind, start, end uint64) {
+	if b.spans == nil || p == nil || p.SpanID == 0 {
+		return
+	}
+	b.spans.Emit(metrics.Span{ID: p.SpanID, Kind: kind, Core: p.Core, Start: start, End: end})
 }
 
 // Config returns the normalized configuration.
@@ -500,8 +514,8 @@ func (b *Backend) serviceSubEntries(r *pcshr, si uint) {
 	kept := r.subs[:0]
 	for _, se := range r.subs {
 		if se.si == si {
-			done := se.done
-			b.scheduleDone(done)
+			b.emitSpan(se.probe, metrics.SpanPCSHRWait, se.parkedAt, b.eng.Now())
+			b.scheduleDone(se.done)
 		} else {
 			kept = append(kept, se)
 		}
@@ -511,8 +525,8 @@ func (b *Backend) serviceSubEntries(r *pcshr, si uint) {
 		se := r.overflow[0]
 		r.overflow = r.overflow[1:]
 		if se.si == si || r.bvec&(1<<se.si) != 0 {
-			done := se.done
-			b.scheduleDone(done)
+			b.emitSpan(se.probe, metrics.SpanPCSHRWait, se.parkedAt, b.eng.Now())
+			b.scheduleDone(se.done)
 			continue
 		}
 		b.park(r, se)
@@ -562,7 +576,9 @@ const (
 // than DataHit the back-end takes ownership of completion and will invoke
 // done; for DataHit the caller proceeds to the on-package DRAM and invokes
 // done itself. VerifyLatency is charged by the caller (see scheme adapter).
-func (b *Backend) CheckCacheAccess(cfn uint64, si uint, write bool, done mem.Done) AccessResult {
+// p, when non-nil, is the access's latency-provenance probe: parked
+// accesses read StallPCSHR and sampled ones emit buffer / pcshr_wait spans.
+func (b *Backend) CheckCacheAccess(cfn uint64, si uint, write bool, p *mem.Probe, done mem.Done) AccessResult {
 	r, ok := b.byCFN[cfn]
 	if !ok {
 		b.stats.DataHits++
@@ -589,11 +605,15 @@ func (b *Backend) CheckCacheAccess(cfn uint64, si uint, write bool, done mem.Don
 		// Page copy buffer hit: serviced without touching the
 		// on-package DRAM.
 		b.stats.BufferHits++
+		b.emitSpan(p, metrics.SpanBuffer, b.eng.Now(), b.eng.Now()+b.cfg.BufferReadLatency)
 		b.scheduleDone(done)
 		return ServedFromBuffer
 	}
 	b.stats.SubEntryWaits++
-	se := subEntry{si: si, done: done}
+	if p != nil {
+		p.Cause = mem.StallPCSHR
+	}
+	se := subEntry{si: si, done: done, probe: p, parkedAt: b.eng.Now()}
 	if len(r.subs) >= b.cfg.SubEntries {
 		b.stats.SubEntryOverflows++
 		b.trace.Emit(b.eng.Now(), metrics.EvPCSHROverflow, cfn, uint64(si))
@@ -608,7 +628,7 @@ func (b *Backend) CheckCacheAccess(cfn uint64, si uint, write bool, done mem.Don
 // frame pfn. A page being written back has been un-cached by the OS, so
 // demand accesses target off-package memory; serving them from the copy
 // buffer keeps them coherent with the not-yet-written data.
-func (b *Backend) CheckPhysicalAccess(pfn uint64, si uint, write bool, done mem.Done) AccessResult {
+func (b *Backend) CheckPhysicalAccess(pfn uint64, si uint, write bool, p *mem.Probe, done mem.Done) AccessResult {
 	r, ok := b.byPFN[pfn]
 	if !ok {
 		return DataHit
@@ -629,11 +649,15 @@ func (b *Backend) CheckPhysicalAccess(pfn uint64, si uint, write bool, done mem.
 	}
 	if r.bvec&(1<<si) != 0 {
 		b.stats.BufferHits++
+		b.emitSpan(p, metrics.SpanBuffer, b.eng.Now(), b.eng.Now()+b.cfg.BufferReadLatency)
 		b.scheduleDone(done)
 		return ServedFromBuffer
 	}
 	b.stats.SubEntryWaits++
-	se := subEntry{si: si, done: done}
+	if p != nil {
+		p.Cause = mem.StallPCSHR
+	}
+	se := subEntry{si: si, done: done, probe: p, parkedAt: b.eng.Now()}
 	if len(r.subs) >= b.cfg.SubEntries {
 		b.stats.SubEntryOverflows++
 		b.trace.Emit(b.eng.Now(), metrics.EvPCSHROverflow, pfn, uint64(si))

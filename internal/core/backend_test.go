@@ -92,7 +92,7 @@ func TestDataHitNoMatch(t *testing.T) {
 	eng := sim.New()
 	b, _, _ := newTestBackend(eng, DefaultBackendConfig())
 	b.Send(Command{Type: CmdFill, PFN: 1, CFN: 1}, nil)
-	if got := b.CheckCacheAccess(2, 0, false, func() {}); got != DataHit {
+	if got := b.CheckCacheAccess(2, 0, false, nil, func() {}); got != DataHit {
 		t.Fatalf("access to idle CFN = %v, want DataHit", got)
 	}
 	if b.Stats().DataHits != 1 {
@@ -105,7 +105,7 @@ func TestReadDataMissParksAndWakes(t *testing.T) {
 	b, _, _ := newTestBackend(eng, DefaultBackendConfig())
 	b.Send(Command{Type: CmdFill, PFN: 1, CFN: 5, Offset: 0}, nil)
 	served := false
-	res := b.CheckCacheAccess(5, 63, false, func() { served = true })
+	res := b.CheckCacheAccess(5, 63, false, nil, func() { served = true })
 	if res != Parked {
 		t.Fatalf("miss on un-arrived sub-block = %v, want Parked", res)
 	}
@@ -123,7 +123,7 @@ func TestBufferHit(t *testing.T) {
 	waitFor(t, eng, func() bool { return r.bvec&1 != 0 }, 50_000)
 	demandBefore := hbm.Stats().BytesByKind[mem.KindDemand]
 	served := false
-	res := b.CheckCacheAccess(6, 0, false, func() { served = true })
+	res := b.CheckCacheAccess(6, 0, false, nil, func() { served = true })
 	if res != ServedFromBuffer {
 		t.Fatalf("arrived sub-block access = %v, want ServedFromBuffer", res)
 	}
@@ -145,7 +145,7 @@ func TestWriteMissAbsorbed(t *testing.T) {
 	b.Send(Command{Type: CmdFill, PFN: 2, CFN: 7, Offset: 0}, nil)
 	// Immediately write sub-block 63, before its read is issued.
 	wrote := false
-	if res := b.CheckCacheAccess(7, 63, true, func() { wrote = true }); res != Absorbed {
+	if res := b.CheckCacheAccess(7, 63, true, nil, func() { wrote = true }); res != Absorbed {
 		t.Fatalf("write miss = %v, want Absorbed", res)
 	}
 	waitFor(t, eng, func() bool { return done && wrote }, 200_000)
@@ -165,7 +165,7 @@ func TestSubEntryOverflow(t *testing.T) {
 	b.Send(Command{Type: CmdFill, PFN: 1, CFN: 8, Offset: 0}, nil)
 	served := 0
 	for si := uint(50); si < 54; si++ {
-		b.CheckCacheAccess(8, si, false, func() { served++ })
+		b.CheckCacheAccess(8, si, false, nil, func() { served++ })
 	}
 	if b.Stats().SubEntryOverflows != 2 {
 		t.Fatalf("overflows = %d, want 2", b.Stats().SubEntryOverflows)
@@ -257,12 +257,12 @@ func TestPhysicalAccessDuringWriteback(t *testing.T) {
 	b, _, _ := newTestBackend(eng, DefaultBackendConfig())
 	b.Send(Command{Type: CmdWriteback, PFN: 11, CFN: 2}, nil)
 	served := false
-	res := b.CheckPhysicalAccess(11, 63, false, func() { served = true })
+	res := b.CheckPhysicalAccess(11, 63, false, nil, func() { served = true })
 	if res != Parked && res != ServedFromBuffer {
 		t.Fatalf("physical access during writeback = %v", res)
 	}
 	waitFor(t, eng, func() bool { return served }, 300_000)
-	if b.CheckPhysicalAccess(12, 0, false, nil) != DataHit {
+	if b.CheckPhysicalAccess(12, 0, false, nil, nil) != DataHit {
 		t.Fatal("unrelated PFN matched a writeback PCSHR")
 	}
 }
@@ -279,11 +279,11 @@ func TestFillInvariantProperty(t *testing.T) {
 		b.Send(Command{Type: CmdFill, PFN: 1, CFN: 1, Offset: 0}, nil)
 		pending := 0
 		for _, a := range absorbs {
-			b.CheckCacheAccess(1, uint(a%64), true, func() { pending-- })
+			b.CheckCacheAccess(1, uint(a%64), true, nil, func() { pending-- })
 			pending++
 		}
 		for _, rd := range reads {
-			if res := b.CheckCacheAccess(1, uint(rd%64), false, func() { pending-- }); res != DataHit {
+			if res := b.CheckCacheAccess(1, uint(rd%64), false, nil, func() { pending-- }); res != DataHit {
 				pending++
 			}
 		}

@@ -25,13 +25,19 @@
 package cpu
 
 import (
+	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/workload"
 )
 
 // MemPort is the core's path into the memory system. Load's done callback
 // fires when data is available; Store is fire-and-forget (store buffer).
+// p is the load's latency-provenance probe: the memory system updates
+// p.Cause as the access moves (so head-of-ROB stall cycles are charged to
+// the component currently holding the load) and emits spans tagged p.SpanID
+// when the load was sampled. The pointer stays valid until done fires.
 type MemPort interface {
-	Load(core int, vaddr uint64, done func())
+	Load(core int, vaddr uint64, p *mem.Probe, done func())
 	Store(core int, vaddr uint64)
 }
 
@@ -63,6 +69,10 @@ type Stats struct {
 	FrontStallCycles uint64
 	// OSBlockEvents counts suspensions (≈ DC tag misses for OS schemes).
 	OSBlockEvents uint64
+	// MemStallByCause splits MemStallCycles by the head load's current
+	// stall cause (CPI stack, Fig. 11). The entries sum to MemStallCycles
+	// by construction: each stalled cycle charges exactly one cause.
+	MemStallByCause [mem.NumStallCauses]uint64
 }
 
 // IPC returns retired instructions per cycle.
@@ -82,8 +92,10 @@ func (s *Stats) StallRatio() float64 {
 }
 
 type loadSlot struct {
-	pos  uint64 // absolute instruction index
-	done bool
+	pos   uint64 // absolute instruction index
+	done  bool
+	start uint64    // cycle the load issued (span envelope start)
+	probe mem.Probe // provenance tag; address is stable (fixed ring)
 }
 
 // Core is one simulated CPU. Register it as a sim.Ticker.
@@ -111,6 +123,12 @@ type Core struct {
 	blockCount   int
 	blockedUntil uint64
 
+	// Span sampling: 1-in-sampleEvery loads (deterministic, by load
+	// sequence number) get a nonzero SpanID and emit latency spans.
+	spans       *metrics.SpanRing
+	sampleEvery uint64
+	nowCycle    uint64 // current cycle, visible to load-done closures
+
 	stats Stats
 }
 
@@ -130,6 +148,17 @@ func New(id int, cfg Config, port MemPort, wl *workload.Stream) *Core {
 
 // Stats returns the core's counters.
 func (c *Core) Stats() *Stats { return &c.stats }
+
+// SetSpanTracing samples 1 in every loads into the ring: the k-th load is
+// sampled iff k ≡ 1 (mod every), which is deterministic across same-seed
+// runs (no RNG). every <= 0 or a nil ring disables sampling.
+func (c *Core) SetSpanTracing(spans *metrics.SpanRing, every uint64) {
+	if spans == nil || every == 0 {
+		c.spans, c.sampleEvery = nil, 0
+		return
+	}
+	c.spans, c.sampleEvery = spans, every
+}
 
 // Block suspends the thread until a matching Unblock (OS routine of unknown
 // duration, e.g. a TDC page copy). Calls nest.
@@ -169,6 +198,7 @@ func (c *Core) OutstandingLoads() int { return c.inFlight }
 // Tick advances the core one cycle.
 func (c *Core) Tick(now uint64) {
 	c.stats.Cycles++
+	c.nowCycle = now
 
 	if c.blockCount > 0 || now < c.blockedUntil {
 		c.stats.OSBlockedCycles++
@@ -240,16 +270,34 @@ func (c *Core) Tick(now uint64) {
 			c.stats.MemOps++
 			c.stats.Loads++
 			idx := (c.loadHead + c.loadCount) % len(c.loads)
-			c.loads[idx] = loadSlot{pos: c.insertSeq, done: false}
+			c.loads[idx] = loadSlot{
+				pos:   c.insertSeq,
+				start: now,
+				probe: mem.Probe{Core: int32(c.ID), Cause: mem.StallSRAM},
+			}
+			if c.sampleEvery > 0 && (c.stats.Loads-1)%c.sampleEvery == 0 {
+				// SpanID packs (core, load sequence) so IDs are unique
+				// across cores and stable across same-seed runs.
+				c.loads[idx].probe.SpanID = uint64(c.ID+1)<<40 | c.stats.Loads
+			}
 			c.loadCount++
 			c.inFlight++
 			c.insertSeq++
 			budget--
 			inserted++
 			slot := &c.loads[idx]
-			c.port.Load(c.ID, op.Addr, func() {
+			c.port.Load(c.ID, op.Addr, &slot.probe, func() {
 				slot.done = true
 				c.inFlight--
+				if slot.probe.SpanID != 0 {
+					c.spans.Emit(metrics.Span{
+						ID:    slot.probe.SpanID,
+						Kind:  metrics.SpanLoad,
+						Core:  int32(c.ID),
+						Start: slot.start,
+						End:   c.nowCycle,
+					})
+				}
 			})
 			c.memOp = nil
 			continue
@@ -264,6 +312,11 @@ func (c *Core) Tick(now uint64) {
 		switch {
 		case headBlocked:
 			c.stats.MemStallCycles++
+			// Charge the cause the head load is waiting on right now —
+			// the memory system keeps probe.Cause current as the access
+			// moves, so the CPI stack attributes each stalled cycle to
+			// the component actually holding the data.
+			c.stats.MemStallByCause[c.loads[c.loadHead].probe.Cause]++
 		case inserted == 0:
 			c.stats.FrontStallCycles++
 		}

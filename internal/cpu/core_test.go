@@ -3,6 +3,8 @@ package cpu
 import (
 	"testing"
 
+	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/sim"
 	"nomad/internal/workload"
 )
@@ -16,10 +18,16 @@ type fakePort struct {
 	// maxConcurrent tracks the peak number of outstanding loads.
 	outstanding   int
 	maxConcurrent int
+	// cause, when not StallSRAM, is written into every load's probe
+	// (exercises per-cause stall attribution).
+	cause mem.StallCause
 }
 
-func (p *fakePort) Load(core int, vaddr uint64, done func()) {
+func (p *fakePort) Load(core int, vaddr uint64, probe *mem.Probe, done func()) {
 	p.loads++
+	if probe != nil && p.cause != mem.StallSRAM {
+		probe.Cause = p.cause
+	}
 	p.outstanding++
 	if p.outstanding > p.maxConcurrent {
 		p.maxConcurrent = p.outstanding
@@ -176,6 +184,71 @@ func TestROBBoundsInFlightInstructions(t *testing.T) {
 	}
 	if c.Stats().Instructions != 0 {
 		t.Fatal("retired past an incomplete load")
+	}
+}
+
+func TestStallCauseAttribution(t *testing.T) {
+	eng := sim.New()
+	c, p := newCore(eng, Config{Width: 4, ROBSize: 128, MaxLoads: 4}, stream(0, 0), 100)
+	p.cause = mem.StallDRAMQueue
+	eng.Run(10000)
+	s := c.Stats()
+	var sum uint64
+	for _, v := range s.MemStallByCause {
+		sum += v
+	}
+	if sum != s.MemStallCycles {
+		t.Fatalf("MemStallByCause sums to %d, MemStallCycles = %d", sum, s.MemStallCycles)
+	}
+	if s.MemStallCycles == 0 {
+		t.Fatal("memory-bound run recorded no memory stalls")
+	}
+	// The port tags every load StallDRAMQueue, so every stalled cycle
+	// must land in that bucket.
+	if s.MemStallByCause[mem.StallDRAMQueue] != s.MemStallCycles {
+		t.Fatalf("dram_queue bucket = %d, want all %d stall cycles",
+			s.MemStallByCause[mem.StallDRAMQueue], s.MemStallCycles)
+	}
+}
+
+func TestSpanSampling(t *testing.T) {
+	eng := sim.New()
+	c, _ := newCore(eng, Config{Width: 4, ROBSize: 128, MaxLoads: 4}, stream(0, 0), 50)
+	ring := metrics.NewSpanRing(1 << 14)
+	c.SetSpanTracing(ring, 4)
+	eng.Run(20000)
+	spans := ring.Spans()
+	if len(spans) == 0 {
+		t.Fatal("sampled run emitted no spans")
+	}
+	loads := c.Stats().Loads
+	want := (loads + 3) / 4
+	// Up to MaxLoads sampled loads may still be in flight at the horizon.
+	if got := uint64(len(spans)); got < want-4 || got > want {
+		t.Fatalf("got %d spans for %d loads at 1-in-4, want ~%d", got, loads, want)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range spans {
+		if s.Kind != metrics.SpanLoad {
+			t.Fatalf("core emitted span kind %v, want load", s.Kind)
+		}
+		if s.End < s.Start {
+			t.Fatalf("span ends (%d) before it starts (%d)", s.End, s.Start)
+		}
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %#x", s.ID)
+		}
+		seen[s.ID] = true
+		if seq := s.ID & (1<<40 - 1); (seq-1)%4 != 0 {
+			t.Fatalf("span ID %#x is not a 1-in-4 sample", s.ID)
+		}
+	}
+	// Disabling restores the untagged path.
+	c.SetSpanTracing(nil, 0)
+	before := ring.Len()
+	eng.Run(5000)
+	if ring.Len() != before {
+		t.Fatal("spans emitted after tracing was disabled")
 	}
 }
 

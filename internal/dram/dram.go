@@ -128,6 +128,7 @@ type request struct {
 	done     mem.Done
 	bank     int
 	row      uint64
+	probe    *mem.Probe // nil for untagged traffic
 }
 
 type bank struct {
@@ -141,6 +142,7 @@ type bank struct {
 }
 
 type channel struct {
+	idx       int // channel index within the device (trace labels)
 	queue     []*request
 	busFreeAt uint64
 	inflight  int
@@ -150,11 +152,13 @@ type channel struct {
 // Device is one DRAM device instance bound to a simulation engine. It
 // registers itself as a ticker; callers enqueue requests with Access.
 type Device struct {
-	cfg   Config
-	eng   *sim.Engine
-	chans []channel
-	stats Stats
-	trace *metrics.Trace
+	cfg     Config
+	eng     *sim.Engine
+	chans   []channel
+	stats   Stats
+	trace   *metrics.Trace
+	devID   uint64 // trace device tag (0 = hbm, 1 = ddr)
+	latHist *metrics.Histogram
 
 	chanShift    uint
 	chanMask     uint64
@@ -180,6 +184,7 @@ func New(eng *sim.Engine, cfg Config) *Device {
 		maxQueue:     64,
 	}
 	for i := range d.chans {
+		d.chans[i].idx = i
 		d.chans[i].banks = make([]bank, cfg.Banks)
 		for b := range d.chans[i].banks {
 			d.chans[i].banks[b].openRow = -1
@@ -195,8 +200,13 @@ func (d *Device) Config() Config { return d.cfg }
 // Stats returns a pointer to the device's counters.
 func (d *Device) Stats() *Stats { return &d.stats }
 
-// SetTrace attaches an event trace (row-conflict events). Nil disables.
-func (d *Device) SetTrace(t *metrics.Trace) { d.trace = t }
+// SetTrace attaches an event trace (row-conflict events) under device tag
+// dev, which the exporter unpacks to group banks per device (0 = hbm,
+// 1 = ddr). Nil disables.
+func (d *Device) SetTrace(t *metrics.Trace, dev uint64) {
+	d.trace = t
+	d.devID = dev
+}
 
 // RegisterMetrics exposes the device's counters in reg under prefix (e.g.
 // "dram.hbm"): device-wide totals, per-kind bytes, and per-bank row-buffer
@@ -213,6 +223,7 @@ func (d *Device) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.CounterFunc(prefix+".read_latency_sum", func() uint64 { return s.ReadLatencySum })
 	reg.CounterFunc(prefix+".read_count", func() uint64 { return s.ReadCount })
 	reg.CounterFunc(prefix+".queue_full_rejects", func() uint64 { return s.QueueFullRejects })
+	d.latHist = reg.Histogram(prefix + ".read_latency")
 	for k := 0; k < mem.NumKinds; k++ {
 		k := k
 		reg.CounterFunc(fmt.Sprintf("%s.bytes.%s", prefix, mem.Kind(k)),
@@ -253,10 +264,21 @@ func (d *Device) mapAddr(addr uint64) (ch, bk int, row uint64) {
 // preserving FIFO fairness, so callers can treat the device as always
 // accepting (back-pressure manifests as latency).
 func (d *Device) Access(addr uint64, write bool, kind mem.Kind, priority bool, done mem.Done) {
+	d.AccessProbe(addr, write, kind, priority, nil, done)
+}
+
+// AccessProbe is Access carrying a latency-provenance probe. While the
+// request sits in the channel queue the probe reads StallDRAMQueue; at
+// issue it switches to the dominant cost the burst pays (row conflict >
+// bus wait > plain service). p may be nil (Access delegates here).
+func (d *Device) AccessProbe(addr uint64, write bool, kind mem.Kind, priority bool, p *mem.Probe, done mem.Done) {
 	ch, bk, row := d.mapAddr(addr)
+	if p != nil {
+		p.Cause = mem.StallDRAMQueue
+	}
 	r := &request{
 		addr: addr, write: write, kind: kind, priority: priority,
-		arrival: d.eng.Now(), done: done, bank: bk, row: row,
+		arrival: d.eng.Now(), done: done, bank: bk, row: row, probe: p,
 	}
 	c := &d.chans[ch]
 	if len(c.queue) >= d.maxQueue {
@@ -335,6 +357,7 @@ func (d *Device) issue(c *channel, r *request, now uint64) {
 		start = b.readyAt
 	}
 	var rowReady uint64
+	conflict := false
 	switch {
 	case b.openRow == int64(r.row):
 		d.stats.RowHits++
@@ -345,18 +368,31 @@ func (d *Device) issue(c *channel, r *request, now uint64) {
 		b.rowMisses++
 		rowReady = start + d.cfg.Timing.TRCD
 	default:
+		conflict = true
 		d.stats.RowConflicts++
 		b.rowConflicts++
-		d.trace.Emit(now, metrics.EvRowConflict, r.addr, uint64(r.bank))
+		d.trace.Emit(now, metrics.EvRowConflict, r.addr,
+			d.devID<<32|uint64(c.idx)<<16|uint64(r.bank))
 		rowReady = start + d.cfg.Timing.TRP + d.cfg.Timing.TRCD
 	}
 	b.openRow = int64(r.row)
 
 	dataStart := rowReady + d.cfg.Timing.TCL
-	if c.busFreeAt > dataStart {
+	busWait := c.busFreeAt > dataStart
+	if busWait {
 		dataStart = c.busFreeAt
 	}
 	dataEnd := dataStart + d.cfg.Timing.TBL
+	if r.probe != nil {
+		switch {
+		case conflict:
+			r.probe.Cause = mem.StallRowConflict
+		case busWait:
+			r.probe.Cause = mem.StallBus
+		default:
+			r.probe.Cause = mem.StallDRAMService
+		}
+	}
 	c.busFreeAt = dataEnd
 	// The bank can accept the next column command to the same row once
 	// this one's data slot is reserved.
@@ -370,6 +406,7 @@ func (d *Device) issue(c *channel, r *request, now uint64) {
 		d.stats.Reads++
 		d.stats.ReadLatencySum += dataEnd - r.arrival
 		d.stats.ReadCount++
+		d.latHist.Observe(dataEnd - r.arrival)
 	}
 
 	c.inflight++

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"nomad/internal/mem"
+	"nomad/internal/system"
+	"nomad/internal/workload"
+)
+
+// cpistackWorkloads spans the Fig. 11 spectrum: cact/sssp are the
+// high-RMHB workloads where blocking tag management dominates, mcf is the
+// loose-region case where it does not.
+var cpistackWorkloads = []string{"cact", "sssp", "mcf"}
+
+func init() {
+	register(Experiment{
+		ID:    "cpistack",
+		Title: "Fig. 11: CPI-stack stall attribution per scheme (where do cycles go?)",
+		Run:   runCPIStack,
+	})
+}
+
+func runCPIStack(ctx context.Context, opts Options) (*Report, error) {
+	var runs []Run
+	for _, abbr := range cpistackWorkloads {
+		sp, ok := workload.ByAbbr(abbr)
+		if !ok {
+			return nil, fmt.Errorf("cpistack: unknown workload %q", abbr)
+		}
+		for _, scheme := range system.AllSchemes() {
+			cfg := opts.BaseConfig()
+			cfg.Scheme = scheme
+			runs = append(runs, Run{Key: key(abbr, scheme), Cfg: cfg, Spec: sp})
+		}
+	}
+	res, err := Execute(ctx, opts, runs)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := newReport("cpistack", res)
+	header := []interface{}{"Workload", "Scheme", "Compute%", "TagMiss%", "Front%"}
+	for c := mem.StallCause(0); c < mem.NumStallCauses; c++ {
+		header = append(header, c.String()+"%")
+	}
+	hs := make([]string, len(header))
+	for i, h := range header {
+		hs[i] = fmt.Sprint(h)
+	}
+	t := NewTable(hs...)
+	for _, abbr := range cpistackWorkloads {
+		for _, scheme := range system.AllSchemes() {
+			r := res[key(abbr, scheme)]
+			st := r.CPIStack
+			total := float64(st.Total())
+			pct := func(v uint64) float64 { return 100 * float64(v) / total }
+			row := []interface{}{abbr, string(scheme), pct(st.Compute), pct(st.TagMiss), pct(st.Frontend)}
+			for _, v := range st.Mem {
+				row = append(row, pct(v))
+			}
+			t.Addf(row...)
+		}
+	}
+	rep.add(t,
+		"Fig. 11: every ROI core-cycle attributed to a named bucket (buckets sum to 100%).",
+		"TagMiss is thread suspension inside OS tag-management routines: it dominates the",
+		"blocking OS-managed scheme (TDC) on high-RMHB workloads and is near zero under",
+		"NOMAD, whose tag-data decoupling services misses without suspending threads.",
+		"The mem buckets split load stalls by the blocking load's location (pcshr = ",
+		"NOMAD sub-entry wait; dram_queue/row_conflict/bus/dram_service = device time).")
+	return rep, nil
+}

@@ -32,6 +32,13 @@ type Options struct {
 	Verbose bool
 	// Log receives verbose progress output (nil discards it).
 	Log io.Writer
+	// TraceDepth/SpanDepth, when positive, enable the typed event-trace
+	// ring and per-access latency spans in every run (see system.Config);
+	// each Result then carries a Trace dump for Perfetto export.
+	TraceDepth int
+	SpanDepth  int
+	// SpanSampleEvery overrides the span sampling period (0 = default).
+	SpanSampleEvery uint64
 }
 
 func (o Options) workers() int {
@@ -48,6 +55,9 @@ func (o Options) BaseConfig() system.Config {
 		cfg.WarmupInstructions = 300_000
 		cfg.ROIInstructions = 400_000
 	}
+	cfg.TraceDepth = o.TraceDepth
+	cfg.SpanDepth = o.SpanDepth
+	cfg.SpanSampleEvery = o.SpanSampleEvery
 	return cfg
 }
 

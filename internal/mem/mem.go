@@ -132,6 +132,64 @@ func (k Kind) String() string {
 	}
 }
 
+// StallCause names the component a load is waiting on at one instant. Each
+// cycle a core's ROB head is an incomplete load, exactly one cause is
+// charged — whichever component currently owns the load — so the per-cause
+// buckets sum exactly to the core's memory-stall cycles (the CPI stack
+// invariant enforced by internal/system).
+type StallCause uint8
+
+const (
+	// StallSRAM: the load is traversing the SRAM hierarchy (L1/L2/LLC
+	// lookup latency, or waiting coalesced on another load's line fill).
+	StallSRAM StallCause = iota
+	// StallTLB: address translation (L2 TLB access or page-table walk).
+	StallTLB
+	// StallMSHR: parked because every MSHR of a cache level was busy.
+	StallMSHR
+	// StallPCSHR: parked in a PCSHR sub-entry waiting for an in-transfer
+	// sub-block (NOMAD data miss; the paper's PCSHR wait).
+	StallPCSHR
+	// StallDRAMQueue: enqueued in a DRAM channel queue (FR-FCFS backlog).
+	StallDRAMQueue
+	// StallRowConflict: the issued burst had to close an open row first.
+	StallRowConflict
+	// StallBus: the burst waited for the channel data bus.
+	StallBus
+	// StallDRAMService: intrinsic activate/CAS/burst time of the access.
+	StallDRAMService
+
+	NumStallCauses = 8
+)
+
+var stallCauseNames = [NumStallCauses]string{
+	"sram", "tlb", "mshr", "pcshr",
+	"dram_queue", "row_conflict", "bus", "dram_service",
+}
+
+func (c StallCause) String() string {
+	if int(c) < len(stallCauseNames) {
+		return stallCauseNames[c]
+	}
+	return "invalid"
+}
+
+// Probe is the latency-provenance tag of one load: the memory system updates
+// Cause as the request moves between components (live, every load), and
+// SpanID marks the 1-in-N sampled loads whose per-hop spans are recorded.
+// The issuing core allocates one Probe per in-flight load and reads Cause
+// each cycle the load blocks retirement.
+type Probe struct {
+	// SpanID is nonzero only for span-sampled loads; it ties the span
+	// records of one access together across components.
+	SpanID uint64
+	// Core is the issuing core (for span records emitted by shared
+	// components that do not otherwise know it).
+	Core int32
+	// Cause is the component currently responsible for the load's latency.
+	Cause StallCause
+}
+
 // Request is a single memory access. One Request flows from the core through
 // the SRAM hierarchy; below the LLC the scheme may spawn further Requests
 // (fills, metadata, writebacks) tagged with the appropriate Kind.
@@ -150,6 +208,10 @@ type Request struct {
 	// Issue is the cycle the request entered the component measuring it
 	// (used for DC access-time accounting).
 	Issue uint64
+	// Probe, when non-nil, is the originating load's latency-provenance
+	// tag: components update Probe.Cause as they take ownership of the
+	// request. Generated traffic (fills, writebacks, metadata) carries nil.
+	Probe *Probe
 }
 
 // Done is a completion callback. Components hand a request downward together

@@ -1,0 +1,41 @@
+package metrics
+
+import "testing"
+
+// BenchmarkTraceEmit measures the event-ring hot path: one record into a
+// pre-allocated ring, no allocation, no branches beyond the wrap.
+func BenchmarkTraceEmit(b *testing.B) {
+	tr := newTrace(1 << 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(uint64(i), EvRowConflict, uint64(i), 0)
+	}
+}
+
+// BenchmarkTraceEmitNil measures the disabled path every component pays
+// unconditionally: a nil receiver check.
+func BenchmarkTraceEmitNil(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(uint64(i), EvRowConflict, uint64(i), 0)
+	}
+}
+
+// BenchmarkSpanEmit measures the span-ring hot path.
+func BenchmarkSpanEmit(b *testing.B) {
+	sr := NewSpanRing(1 << 13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sr.Emit(Span{ID: uint64(i), Kind: SpanLoad, Start: uint64(i), End: uint64(i) + 40})
+	}
+}
+
+// BenchmarkSpanEmitNil measures the disabled span path.
+func BenchmarkSpanEmitNil(b *testing.B) {
+	var sr *SpanRing
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sr.Emit(Span{ID: uint64(i), Kind: SpanLoad, Start: uint64(i), End: uint64(i) + 40})
+	}
+}

@@ -127,6 +127,7 @@ type Registry struct {
 	series   []seriesEntry
 	names    map[string]bool
 	trace    *Trace
+	spans    *SpanRing
 	window   uint64
 
 	marked       bool
@@ -210,10 +211,23 @@ func (r *Registry) EnableTrace(depth int) *Trace {
 // Trace returns the attached event trace, or nil.
 func (r *Registry) Trace() *Trace { return r.trace }
 
+// EnableSpans attaches a ring buffer of depth sampled-access spans and
+// returns it. Calling it again replaces the buffer.
+func (r *Registry) EnableSpans(depth int) *SpanRing {
+	r.spans = NewSpanRing(depth)
+	return r.spans
+}
+
+// Spans returns the attached span ring, or nil.
+func (r *Registry) Spans() *SpanRing { return r.spans }
+
 // MarkROI captures the current counter and histogram state as the baseline
-// that Snapshot diffs against, and discards series samples taken so far.
-// Call it at the warmup / region-of-interest boundary.
+// that Snapshot diffs against, discards series samples taken so far, and
+// resets the event-trace and span rings so exported traces cover the
+// measured region only. Call it at the warmup / region-of-interest boundary.
 func (r *Registry) MarkROI(now uint64) {
+	r.trace.Reset()
+	r.spans.Reset()
 	r.marked = true
 	r.markCycle = now
 	r.baseCounters = make([]uint64, len(r.counters))
@@ -239,6 +253,14 @@ func (r *Registry) Snapshot(now uint64) *Snapshot {
 		Cycles:   now - r.markCycle,
 		Window:   r.window,
 		Counters: make(map[string]uint64, len(r.counters)),
+	}
+	if r.trace != nil || r.spans != nil {
+		s.Trace = &TraceSummary{
+			Events:        uint64(r.trace.Len()),
+			EventsDropped: r.trace.Dropped(),
+			Spans:         uint64(r.spans.Len()),
+			SpansDropped:  r.spans.Dropped(),
+		}
 	}
 	for i, c := range r.counters {
 		v := c.read()

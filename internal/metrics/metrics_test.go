@@ -188,3 +188,86 @@ func TestCounterNamesSorted(t *testing.T) {
 		t.Fatalf("names = %v", names)
 	}
 }
+
+func TestTraceRingExactCapacity(t *testing.T) {
+	tr := newTrace(4)
+	for i := uint64(0); i < 4; i++ {
+		tr.Emit(i, EvRowConflict, i, 0)
+	}
+	// Exactly at capacity: everything retained, nothing dropped.
+	if tr.Len() != 4 || tr.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want 4/0", tr.Len(), tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if ev.Cycle != uint64(i) {
+			t.Fatalf("events reordered at capacity boundary: %+v", evs)
+		}
+	}
+	// One past capacity: the oldest entry is the (single) drop, and the
+	// rotation copy stays chronological across the wrap point.
+	tr.Emit(4, EvRowConflict, 4, 0)
+	if tr.Len() != 4 || tr.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d, want 4/1", tr.Len(), tr.Dropped())
+	}
+	for i, ev := range tr.Events() {
+		if ev.Cycle != uint64(i)+1 {
+			t.Fatalf("events out of order after wrap: %+v", tr.Events())
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("reset did not clear the ring")
+	}
+}
+
+func TestSpanRing(t *testing.T) {
+	r := NewRegistry(1)
+	sr := r.EnableSpans(2)
+	if r.Spans() != sr {
+		t.Fatal("span ring not attached")
+	}
+	for i := uint64(1); i <= 3; i++ {
+		sr.Emit(Span{ID: i, Kind: SpanLoad, Start: i, End: i + 10})
+	}
+	if sr.Len() != 2 || sr.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d, want 2/1", sr.Len(), sr.Dropped())
+	}
+	spans := sr.Spans()
+	if spans[0].ID != 2 || spans[1].ID != 3 {
+		t.Fatalf("wrap order wrong: %+v", spans)
+	}
+	var ns *SpanRing
+	ns.Emit(Span{}) // must not crash
+	if ns.Len() != 0 || ns.Spans() != nil || ns.Dropped() != 0 {
+		t.Fatal("nil span ring misbehaved")
+	}
+	if SpanPCSHRWait.String() != "pcshr_wait" || SpanKind(200).String() != "invalid" {
+		t.Fatal("span kind names wrong")
+	}
+}
+
+func TestMarkROIResetsRings(t *testing.T) {
+	r := NewRegistry(1)
+	tr := r.EnableTrace(8)
+	sr := r.EnableSpans(8)
+	for i := uint64(0); i < 12; i++ {
+		tr.Emit(i, EvRowConflict, i, 0)
+		sr.Emit(Span{ID: i + 1, Kind: SpanLoad, Start: i, End: i + 1})
+	}
+	r.MarkROI(100)
+	if tr.Len() != 0 || tr.Dropped() != 0 || sr.Len() != 0 || sr.Dropped() != 0 {
+		t.Fatal("MarkROI did not clear the trace rings")
+	}
+	// Post-ROI captures surface in the snapshot summary.
+	tr.Emit(101, EvTagMissBegin, 7, 0)
+	sr.Emit(Span{ID: 9, Kind: SpanDDR, Start: 101, End: 140})
+	s := r.Snapshot(200)
+	if s.Trace == nil {
+		t.Fatal("snapshot missing trace summary")
+	}
+	if s.Trace.Events != 1 || s.Trace.Spans != 1 ||
+		s.Trace.EventsDropped != 0 || s.Trace.SpansDropped != 0 {
+		t.Fatalf("trace summary = %+v", s.Trace)
+	}
+}

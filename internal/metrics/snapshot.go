@@ -14,6 +14,19 @@ type Snapshot struct {
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Series     map[string]SeriesSnapshot    `json:"series,omitempty"`
+	// Trace summarizes the event-trace and span rings (present only when
+	// tracing was enabled) so truncated exports are visible, not silent.
+	Trace *TraceSummary `json:"trace,omitempty"`
+}
+
+// TraceSummary reports how much of the run's event and span history the
+// rings retained. Dropped counts are overwritten records: a nonzero value
+// means the exported trace starts mid-run.
+type TraceSummary struct {
+	Events        uint64 `json:"events"`
+	EventsDropped uint64 `json:"events_dropped"`
+	Spans         uint64 `json:"spans"`
+	SpansDropped  uint64 `json:"spans_dropped"`
 }
 
 // Counter returns a counter by name, 0 if absent (schemes register only

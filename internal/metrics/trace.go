@@ -102,6 +102,16 @@ func (t *Trace) Dropped() uint64 {
 	return t.n - uint64(len(t.buf))
 }
 
+// Reset discards every event, keeping the storage (MarkROI calls it so
+// exported traces cover the measured region instead of being diluted — or
+// fully evicted — by warmup events).
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.n = 0
+}
+
 // Events returns the retained events in chronological order.
 func (t *Trace) Events() []Event {
 	if t == nil {

@@ -3,6 +3,7 @@ package schemes
 import (
 	"nomad/internal/dram"
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/osmem"
 	"nomad/internal/sim"
 	"nomad/internal/tlb"
@@ -17,11 +18,12 @@ type Baseline struct {
 	mm    *osmem.Manager
 	walk  uint64
 	stats AccessStats
+	spanTap
 }
 
 // NewBaseline builds the baseline scheme.
 func NewBaseline(eng *sim.Engine, ddr *dram.Device, mm *osmem.Manager, walkLatency uint64) *Baseline {
-	return &Baseline{eng: eng, ddr: ddr, mm: mm, walk: walkLatency}
+	return &Baseline{eng: eng, ddr: ddr, mm: mm, walk: walkLatency, spanTap: spanTap{now: eng.Now}}
 }
 
 // Name implements Scheme.
@@ -35,7 +37,8 @@ func (b *Baseline) Access(req *mem.Request, done mem.Done) {
 		b.stats.PhysSpaceReads++
 		done = b.stats.recordRead(b.eng.Now, done)
 	}
-	b.ddr.Access(mem.Untag(req.Addr), req.Write, req.Kind, req.Priority, done)
+	done = b.wrap(req.Probe, metrics.SpanDDR, done)
+	b.ddr.AccessProbe(mem.Untag(req.Addr), req.Write, req.Kind, req.Priority, req.Probe, done)
 }
 
 // Walker implements Scheme.

@@ -4,6 +4,7 @@ import (
 	"nomad/internal/core"
 	"nomad/internal/dram"
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/osmem"
 	"nomad/internal/sim"
 	"nomad/internal/tlb"
@@ -32,6 +33,7 @@ type Ideal struct {
 	TagMisses      uint64
 
 	sd core.Shootdowner
+	spanTap
 }
 
 // SetShootdowner wires the TLB shootdown fallback used when every frame is
@@ -50,7 +52,7 @@ func NewIdeal(eng *sim.Engine, hbm, ddr *dram.Device, mm *osmem.Manager, walkLat
 	}
 	return &Ideal{
 		eng: eng, hbm: hbm, ddr: ddr, mm: mm, walk: walkLatency,
-		lowWater: low, batch: batch,
+		lowWater: low, batch: batch, spanTap: spanTap{now: eng.Now},
 	}
 }
 
@@ -69,12 +71,14 @@ func (s *Ideal) Access(req *mem.Request, done mem.Done) {
 		if !req.Write {
 			s.stats.CacheSpaceReads++
 		}
-		s.hbm.Access(addr, req.Write, req.Kind, req.Priority, done)
+		done = s.wrap(req.Probe, metrics.SpanHBM, done)
+		s.hbm.AccessProbe(addr, req.Write, req.Kind, req.Priority, req.Probe, done)
 	} else {
 		if !req.Write {
 			s.stats.PhysSpaceReads++
 		}
-		s.ddr.Access(addr, req.Write, req.Kind, req.Priority, done)
+		done = s.wrap(req.Probe, metrics.SpanDDR, done)
+		s.ddr.AccessProbe(addr, req.Write, req.Kind, req.Priority, req.Probe, done)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"nomad/internal/core"
 	"nomad/internal/dram"
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/osmem"
 	"nomad/internal/sim"
 	"nomad/internal/tlb"
@@ -21,6 +22,7 @@ type NOMAD struct {
 	frontend *core.Frontend
 	backend  *core.Backend
 	stats    AccessStats
+	spanTap
 }
 
 // NewNOMAD builds the full NOMAD scheme. threads and flusher are supplied by
@@ -31,7 +33,8 @@ func NewNOMAD(eng *sim.Engine, hbm, ddr *dram.Device, mm *osmem.Manager,
 	fcfg.Blocking = false
 	backend := core.NewBackend(eng, bcfg, hbm, ddr)
 	frontend := core.NewFrontend(eng, fcfg, mm, threads, flusher, backend, nil, nil)
-	return &NOMAD{eng: eng, hbm: hbm, ddr: ddr, mm: mm, frontend: frontend, backend: backend}
+	return &NOMAD{eng: eng, hbm: hbm, ddr: ddr, mm: mm, frontend: frontend,
+		backend: backend, spanTap: spanTap{now: eng.Now}}
 }
 
 // Name implements Scheme.
@@ -46,6 +49,7 @@ func (n *NOMAD) Access(req *mem.Request, done mem.Done) {
 	} else {
 		done = n.stats.recordRead(n.eng.Now, done)
 	}
+	done = n.wrap(req.Probe, metrics.SpanScheme, done)
 	verify := n.backend.Config().VerifyLatency
 
 	if mem.SpaceOf(req.Addr) == mem.SpaceCache {
@@ -57,9 +61,11 @@ func (n *NOMAD) Access(req *mem.Request, done mem.Done) {
 		write := req.Write
 		kind := req.Kind
 		prio := req.Priority
+		probe := req.Probe
 		proceed := func() {
-			if n.backend.CheckCacheAccess(cfn, si, write, done) == core.DataHit {
-				n.hbm.Access(addr, write, kind, prio, done)
+			if n.backend.CheckCacheAccess(cfn, si, write, probe, done) == core.DataHit {
+				n.hbm.AccessProbe(addr, write, kind, prio, probe,
+					n.wrap(probe, metrics.SpanHBM, done))
 			}
 		}
 		if verify > 0 {
@@ -75,8 +81,9 @@ func (n *NOMAD) Access(req *mem.Request, done mem.Done) {
 	}
 	pfn := mem.PageNum(addr)
 	si := mem.SubBlockIndex(addr)
-	if n.backend.CheckPhysicalAccess(pfn, si, req.Write, done) == core.DataHit {
-		n.ddr.Access(addr, req.Write, req.Kind, req.Priority, done)
+	if n.backend.CheckPhysicalAccess(pfn, si, req.Write, req.Probe, done) == core.DataHit {
+		n.ddr.AccessProbe(addr, req.Write, req.Kind, req.Priority, req.Probe,
+			n.wrap(req.Probe, metrics.SpanDDR, done))
 	}
 }
 

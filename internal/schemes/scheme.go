@@ -9,6 +9,7 @@ package schemes
 
 import (
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/tlb"
 )
 
@@ -43,6 +44,9 @@ type AccessStats struct {
 	// CacheSpaceReads counts reads served by the on-package DRAM path.
 	CacheSpaceReads uint64
 	PhysSpaceReads  uint64
+	// Lat, when set (system wiring), gets one observation per read — the
+	// distribution behind AvgReadLatency (Fig. 9's right axis).
+	Lat *metrics.Histogram
 }
 
 // AvgReadLatency returns the mean post-LLC read latency in cycles.
@@ -58,7 +62,39 @@ func (s *AccessStats) recordRead(now func() uint64, done mem.Done) mem.Done {
 	start := now()
 	s.Reads++
 	return func() {
-		s.ReadLatencySum += now() - start
+		lat := now() - start
+		s.ReadLatencySum += lat
+		s.Lat.Observe(lat)
+		if done != nil {
+			done()
+		}
+	}
+}
+
+// spanTap is the span-emission hook every scheme embeds: wrap() records a
+// hop of a sampled access (Probe.SpanID != 0) into the attached ring. The
+// zero value is disabled; schemes set now at construction and the system
+// wiring attaches the ring via SetSpans.
+type spanTap struct {
+	spans *metrics.SpanRing
+	now   func() uint64
+}
+
+// SetSpans attaches the span ring sampled accesses emit into (nil disables).
+func (st *spanTap) SetSpans(spans *metrics.SpanRing) { st.spans = spans }
+
+// wrap returns done wrapped to emit one span of the given kind covering
+// now()..completion. Untagged or unsampled requests pass through untouched.
+func (st *spanTap) wrap(p *mem.Probe, kind metrics.SpanKind, done mem.Done) mem.Done {
+	if st.spans == nil || p == nil || p.SpanID == 0 {
+		return done
+	}
+	start := st.now()
+	id, core := p.SpanID, p.Core
+	return func() {
+		st.spans.Emit(metrics.Span{
+			ID: id, Kind: kind, Core: core, Start: start, End: st.now(),
+		})
 		if done != nil {
 			done()
 		}

@@ -4,6 +4,7 @@ import (
 	"nomad/internal/core"
 	"nomad/internal/dram"
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/osmem"
 	"nomad/internal/sim"
 	"nomad/internal/tlb"
@@ -23,12 +24,13 @@ type TDC struct {
 	frontend       *core.Frontend
 	stats          AccessStats
 	inflightCopies int
+	spanTap
 }
 
 // NewTDC builds the blocking OS-managed scheme.
 func NewTDC(eng *sim.Engine, hbm, ddr *dram.Device, mm *osmem.Manager,
 	fcfg core.FrontendConfig, threads []core.Thread, flusher core.Flusher) *TDC {
-	t := &TDC{eng: eng, hbm: hbm, ddr: ddr, mm: mm}
+	t := &TDC{eng: eng, hbm: hbm, ddr: ddr, mm: mm, spanTap: spanTap{now: eng.Now}}
 	// The TDC page copy is OS software running on the faulting CPU — a
 	// cache-line copy loop with the memory-level parallelism of a memcpy
 	// (~2 outstanding lines), not a hardware DMA engine. This is the
@@ -78,12 +80,14 @@ func (t *TDC) Access(req *mem.Request, done mem.Done) {
 		if !req.Write {
 			t.stats.CacheSpaceReads++
 		}
-		t.hbm.Access(addr, req.Write, req.Kind, req.Priority, done)
+		done = t.wrap(req.Probe, metrics.SpanHBM, done)
+		t.hbm.AccessProbe(addr, req.Write, req.Kind, req.Priority, req.Probe, done)
 	} else {
 		if !req.Write {
 			t.stats.PhysSpaceReads++
 		}
-		t.ddr.Access(addr, req.Write, req.Kind, req.Priority, done)
+		done = t.wrap(req.Probe, metrics.SpanDDR, done)
+		t.ddr.AccessProbe(addr, req.Write, req.Kind, req.Priority, req.Probe, done)
 	}
 }
 

@@ -3,6 +3,7 @@ package schemes
 import (
 	"nomad/internal/dram"
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/osmem"
 	"nomad/internal/sim"
 	"nomad/internal/tlb"
@@ -94,6 +95,7 @@ type TiD struct {
 
 	stats    AccessStats
 	tidStats TiDStats
+	spanTap
 }
 
 // NewTiD builds the HW-based scheme.
@@ -113,6 +115,7 @@ func NewTiD(eng *sim.Engine, hbm, ddr *dram.Device, mm *osmem.Manager, walkLaten
 		mshrs:    make(map[uint64]*tidMSHR),
 		maxMSHR:  cfg.MSHRs,
 		metaBase: cfg.CapacityBytes, // metadata region above the data array
+		spanTap:  spanTap{now: eng.Now},
 	}
 	for i := range t.sets {
 		t.sets[i] = make([]tidLine, tidWays)
@@ -151,7 +154,9 @@ func (t *TiD) Access(req *mem.Request, done mem.Done) {
 		t.stats.CacheSpaceReads++
 		done = t.stats.recordRead(t.eng.Now, done)
 	}
-	t.lookup(mem.Request{Addr: addr, Write: req.Write, Kind: req.Kind, Core: req.Core}, done)
+	done = t.wrap(req.Probe, metrics.SpanScheme, done)
+	t.lookup(mem.Request{Addr: addr, Write: req.Write, Kind: req.Kind,
+		Core: req.Core, Probe: req.Probe}, done)
 }
 
 func (t *TiD) lookup(req mem.Request, done mem.Done) {
@@ -173,7 +178,8 @@ func (t *TiD) lookup(req mem.Request, done mem.Done) {
 				l.dirty = true
 			}
 			da := t.dataAddr(set, w, req.Addr)
-			t.hbm.Access(da, req.Write, mem.KindDemand, false, done)
+			t.hbm.AccessProbe(da, req.Write, mem.KindDemand, false, req.Probe,
+				t.wrap(req.Probe, metrics.SpanHBM, done))
 			// LRU/dirty metadata update.
 			t.hbm.Access(t.metaAddr(set), true, mem.KindMetadata, false, nil)
 			return
@@ -191,13 +197,18 @@ func (t *TiD) miss(req mem.Request, lineAddr, set uint64, done mem.Done) {
 			// Sub-block already fetched: early-restart hit on the
 			// in-fill line.
 			da := t.dataAddr(m.set, m.way, req.Addr)
-			t.hbm.Access(da, req.Write, mem.KindDemand, false, done)
+			t.hbm.AccessProbe(da, req.Write, mem.KindDemand, false, req.Probe,
+				t.wrap(req.Probe, metrics.SpanHBM, done))
 			if req.Write {
 				m.dirty = true
 			}
 			return
 		}
 		m.waiters = append(m.waiters, tidWaiter{si: si, write: req.Write, done: done})
+		if req.Probe != nil {
+			// Parked in the DC MSHR until the sub-block lands.
+			req.Probe.Cause = mem.StallMSHR
+		}
 		if req.Write {
 			m.dirty = true
 		}
@@ -205,7 +216,7 @@ func (t *TiD) miss(req mem.Request, lineAddr, set uint64, done mem.Done) {
 		// just the one that opened the MSHR: fetch it out of band, or
 		// promote the already-issued fill read to the priority class.
 		if m.issued&(1<<si) == 0 {
-			t.fetchSub(m, si, true)
+			t.fetchSub(m, si, true, req.Probe)
 		} else {
 			t.ddr.Promote(m.lineAddr<<tidLineBits | uint64(si)*mem.BlockSize)
 		}
@@ -213,6 +224,9 @@ func (t *TiD) miss(req mem.Request, lineAddr, set uint64, done mem.Done) {
 	}
 	if len(t.mshrs) >= t.maxMSHR {
 		t.tidStats.MSHRStalls++
+		if req.Probe != nil {
+			req.Probe.Cause = mem.StallMSHR
+		}
 		t.pending = append(t.pending, tidPending{req: req, done: done})
 		return
 	}
@@ -254,8 +268,9 @@ func (t *TiD) miss(req mem.Request, lineAddr, set uint64, done mem.Done) {
 	t.mshrs[lineAddr] = m
 
 	// Critical-data-first: fetch the demanded sub-block with priority,
-	// then the rest of the line.
-	t.fetchSub(m, si, true)
+	// then the rest of the line. The demand's probe rides the priority
+	// fetch so its stall cycles attribute to the DDR path, not the MSHR.
+	t.fetchSub(m, si, true, req.Probe)
 	t.issueFills(m)
 }
 
@@ -274,20 +289,21 @@ func (t *TiD) issueFills(m *tidMSHR) {
 		if !found {
 			return
 		}
-		t.fetchSub(m, si, false)
+		t.fetchSub(m, si, false, nil)
 	}
 }
 
-func (t *TiD) fetchSub(m *tidMSHR, si uint, priority bool) {
+func (t *TiD) fetchSub(m *tidMSHR, si uint, priority bool, p *mem.Probe) {
 	if m.issued&(1<<si) != 0 {
 		return
 	}
 	m.issued |= 1 << si
 	m.inFlight++
 	src := m.lineAddr<<tidLineBits | uint64(si)*mem.BlockSize
-	t.ddr.Access(src, false, mem.KindFill, priority, func() {
-		t.subArrived(m, si)
-	})
+	t.ddr.AccessProbe(src, false, mem.KindFill, priority, p,
+		t.wrap(p, metrics.SpanDDR, func() {
+			t.subArrived(m, si)
+		}))
 }
 
 func (t *TiD) subArrived(m *tidMSHR, si uint) {

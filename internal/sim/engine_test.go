@@ -193,3 +193,34 @@ func TestSampler(t *testing.T) {
 		t.Fatalf("sampler fired after disable: %v", fired)
 	}
 }
+
+func TestSamplerReEnableResetsPhase(t *testing.T) {
+	e := New()
+	var fired []uint64
+	fn := func(now uint64) { fired = append(fired, now) }
+	e.SetSampler(10, fn)
+	e.Run(25) // fires at 10, 20
+	e.SetSampler(0, nil)
+	e.Run(30) // disabled: nothing fires, now = 55
+	e.SetSampler(10, fn)
+	e.Run(25) // re-enabled at 55: fires at 65, 75 — not at a stale nextSample
+	if len(fired) != 4 || fired[2] != 65 || fired[3] != 75 {
+		t.Fatalf("sampler fired at %v, want [10 20 65 75]", fired)
+	}
+}
+
+// BenchmarkEventHeapPushPop measures the event queue itself: schedule and
+// drain one event per iteration against a background of pending work, the
+// pattern every DRAM/cache callback follows.
+func BenchmarkEventHeapPushPop(b *testing.B) {
+	e := New()
+	for i := 0; i < 64; i++ {
+		e.Schedule(uint64(i%16)+1, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(4, func() {})
+		e.Step()
+	}
+}

@@ -3,6 +3,7 @@ package system
 import (
 	"fmt"
 
+	"nomad/internal/mem"
 	"nomad/internal/metrics"
 	"nomad/internal/schemes"
 )
@@ -31,6 +32,16 @@ func (m *Machine) registerMetrics() {
 	if m.cfg.TraceDepth > 0 {
 		reg.EnableTrace(m.cfg.TraceDepth)
 	}
+	if m.cfg.SpanDepth > 0 {
+		reg.EnableSpans(m.cfg.SpanDepth)
+		every := m.cfg.SpanSampleEvery
+		if every == 0 {
+			every = DefaultSpanSampleEvery
+		}
+		for _, c := range m.cores {
+			c.SetSpanTracing(reg.Spans(), every)
+		}
+	}
 
 	for i, c := range m.cores {
 		s := c.Stats()
@@ -43,18 +54,42 @@ func (m *Machine) registerMetrics() {
 		reg.CounterFunc(p+".mem_stall_cycles", func() uint64 { return s.MemStallCycles })
 		reg.CounterFunc(p+".front_stall_cycles", func() uint64 { return s.FrontStallCycles })
 		reg.CounterFunc(p+".os_block_events", func() uint64 { return s.OSBlockEvents })
+
+		// CPI stack (Fig. 11): named buckets that partition every retired
+		// ROI cycle. compute absorbs everything the stall counters do not
+		// claim; the eight mem.* buckets partition mem_stall_cycles by the
+		// cause recorded on the oldest outstanding load each stalled cycle.
+		reg.CounterFunc(p+".cpi.compute", func() uint64 {
+			return s.Cycles - s.OSBlockedCycles - s.MemStallCycles - s.FrontStallCycles
+		})
+		reg.CounterFunc(p+".cpi.tag_miss", func() uint64 { return s.OSBlockedCycles })
+		reg.CounterFunc(p+".cpi.frontend", func() uint64 { return s.FrontStallCycles })
+		for cause := mem.StallCause(0); cause < mem.NumStallCauses; cause++ {
+			cause := cause
+			reg.CounterFunc(p+".cpi.mem."+cause.String(), func() uint64 {
+				return s.MemStallByCause[cause]
+			})
+		}
+
+		m.tlbs[i].RegisterMetrics(reg, fmt.Sprintf("tlb.%d", i))
 	}
 
 	m.llc.RegisterMetrics(reg, "cache.llc")
+	m.llc.SetSpans(reg.Spans(), metrics.SpanLLC)
 	for i := range m.l1s {
 		m.l1s[i].RegisterMetrics(reg, fmt.Sprintf("cache.l1.%d", i))
 		m.l2s[i].RegisterMetrics(reg, fmt.Sprintf("cache.l2.%d", i))
+		m.l1s[i].SetSpans(reg.Spans(), metrics.SpanL1)
+		m.l2s[i].SetSpans(reg.Spans(), metrics.SpanL2)
 	}
 
 	m.hbm.RegisterMetrics(reg, "hbm")
 	m.ddr.RegisterMetrics(reg, "ddr")
-	m.hbm.SetTrace(reg.Trace())
-	m.ddr.SetTrace(reg.Trace())
+	m.hbm.SetTrace(reg.Trace(), 0)
+	m.ddr.SetTrace(reg.Trace(), 1)
+	if st, ok := m.scheme.(interface{ SetSpans(*metrics.SpanRing) }); ok {
+		st.SetSpans(reg.Spans())
+	}
 
 	switch sc := m.scheme.(type) {
 	case *schemes.Baseline:
@@ -103,6 +138,7 @@ func (m *Machine) registerMetrics() {
 
 // registerAccess exposes the scheme-agnostic post-LLC access counters.
 func registerAccess(reg *metrics.Registry, a *schemes.AccessStats) {
+	a.Lat = reg.Histogram("scheme.read_latency")
 	reg.CounterFunc("scheme.reads", func() uint64 { return a.Reads })
 	reg.CounterFunc("scheme.read_latency_sum", func() uint64 { return a.ReadLatencySum })
 	reg.CounterFunc("scheme.writes", func() uint64 { return a.Writes })

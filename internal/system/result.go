@@ -74,9 +74,53 @@ type Result struct {
 	Evictions      uint64
 	DirtyEvictions uint64
 
+	// CPIStack is the Fig. 11-style stall attribution, summed over cores.
+	CPIStack CPIStack
+
 	// Metrics is the full ROI metrics snapshot (counters, gauges,
 	// histograms, time series) the fields above are computed from.
 	Metrics *metrics.Snapshot
+
+	// Trace is the raw event/span capture for Perfetto export; nil unless
+	// Config.TraceDepth or Config.SpanDepth enabled tracing.
+	Trace *metrics.TraceDump
+}
+
+// CPIStack partitions every ROI core-cycle into named buckets (Fig. 11).
+// The invariant Compute+TagMiss+Frontend+ΣMem == Cycles×Cores holds exactly:
+// each stalled cycle is attributed to the oldest outstanding load's current
+// position in the memory system, and Compute absorbs the rest.
+type CPIStack struct {
+	// Compute is cycles the core retired work or was limited by issue
+	// width, not by the memory system or the OS.
+	Compute uint64
+	// TagMiss is cycles threads were suspended inside OS tag-management
+	// routines (the paper's "application stall cycles").
+	TagMiss uint64
+	// Frontend is cycles lost to instruction-supply stalls.
+	Frontend uint64
+	// Mem splits load-retirement stalls by the blocking load's location:
+	// indexed by mem.StallCause (sram, tlb, mshr, pcshr, dram_queue,
+	// row_conflict, bus, dram_service).
+	Mem [mem.NumStallCauses]uint64
+}
+
+// Total returns the number of core-cycles the stack accounts for.
+func (s CPIStack) Total() uint64 {
+	t := s.Compute + s.TagMiss + s.Frontend
+	for _, v := range s.Mem {
+		t += v
+	}
+	return t
+}
+
+// MemTotal returns the summed memory-stall buckets.
+func (s CPIStack) MemTotal() uint64 {
+	var t uint64
+	for _, v := range s.Mem {
+		t += v
+	}
+	return t
 }
 
 // String renders a one-line summary.
@@ -102,7 +146,14 @@ func (m *Machine) result(snap *metrics.Snapshot) *Result {
 		r.Instructions += snap.Counter(p + ".instructions")
 		osStall += snap.Counter(p + ".os_blocked_cycles")
 		memStall += snap.Counter(p + ".mem_stall_cycles")
+		r.CPIStack.Compute += snap.Counter(p + ".cpi.compute")
+		r.CPIStack.TagMiss += snap.Counter(p + ".cpi.tag_miss")
+		r.CPIStack.Frontend += snap.Counter(p + ".cpi.frontend")
+		for c := mem.StallCause(0); c < mem.NumStallCauses; c++ {
+			r.CPIStack.Mem[c] += snap.Counter(p + ".cpi.mem." + c.String())
+		}
 	}
+	r.Trace = m.reg.Dump()
 	totalCoreCycles := cycles * uint64(len(m.cores))
 	if cycles > 0 {
 		r.IPC = float64(r.Instructions) / float64(cycles)

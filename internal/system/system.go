@@ -75,7 +75,18 @@ type Config struct {
 	// TraceDepth, when positive, enables the typed event-trace ring
 	// buffer with that many entries.
 	TraceDepth int
+	// SpanDepth, when positive, enables per-access latency spans: 1 in
+	// SpanSampleEvery loads per core is followed from issue to data
+	// return, each hop recorded into a ring of this many spans.
+	SpanDepth int
+	// SpanSampleEvery is the span sampling period in loads (deterministic,
+	// by per-core load sequence number); 0 selects DefaultSpanSampleEvery.
+	SpanSampleEvery uint64
 }
+
+// DefaultSpanSampleEvery is the span sampling period used when
+// Config.SpanSampleEvery is zero: 1 in 64 loads.
+const DefaultSpanSampleEvery = 64
 
 // DefaultConfig returns the Table II-derived evaluation configuration at the
 // scaled capacities documented in DESIGN.md: 8 cores, 32 KB L1 / 256 KB L2 /
@@ -154,10 +165,21 @@ type port struct {
 	coreID int
 }
 
-func (p port) Load(coreID int, vaddr uint64, done func()) {
+func (p port) Load(coreID int, vaddr uint64, probe *mem.Probe, done func()) {
+	start := p.m.eng.Now()
+	if probe != nil {
+		probe.Cause = mem.StallTLB
+	}
 	p.m.tlbs[p.coreID].Translate(vaddr, func(e tlb.Entry) {
+		if probe != nil {
+			probe.Cause = mem.StallSRAM
+			if probe.SpanID != 0 {
+				p.m.reg.Spans().Emit(metrics.Span{ID: probe.SpanID, Kind: metrics.SpanTLB,
+					Core: probe.Core, Start: start, End: p.m.eng.Now()})
+			}
+		}
 		addr := mem.TagSpace(mem.AddrInFrame(e.Frame, mem.PageOffset(vaddr)), e.Space)
-		req := mem.Request{Addr: addr, Core: p.coreID, Kind: mem.KindDemand}
+		req := mem.Request{Addr: addr, Core: p.coreID, Kind: mem.KindDemand, Probe: probe}
 		p.m.l1s[p.coreID].Access(&req, done)
 	})
 }

@@ -14,6 +14,7 @@ package tlb
 
 import (
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/sim"
 )
 
@@ -143,6 +144,9 @@ type TLB struct {
 	// inFlight coalesces concurrent walks to the same VPN.
 	inFlight map[uint64][]func(Entry)
 	stats    Stats
+	// walkLat records page-table-walk latency per walk (nil until
+	// RegisterMetrics; Observe on nil is a no-op).
+	walkLat *metrics.Histogram
 }
 
 // New builds a TLB for the given core. dir may be nil.
@@ -161,6 +165,18 @@ func New(eng *sim.Engine, core int, cfg Config, walker Walker, dir Directory) *T
 
 // Stats returns the TLB's counters.
 func (t *TLB) Stats() *Stats { return &t.stats }
+
+// RegisterMetrics exposes the TLB's counters in reg under prefix (e.g.
+// "tlb.0"), plus a walk-latency histogram. Lazy, like every other
+// component's registration.
+func (t *TLB) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	s := &t.stats
+	reg.CounterFunc(prefix+".l1_hits", func() uint64 { return s.L1Hits })
+	reg.CounterFunc(prefix+".l2_hits", func() uint64 { return s.L2Hits })
+	reg.CounterFunc(prefix+".walks", func() uint64 { return s.Misses })
+	reg.CounterFunc(prefix+".coalesced", func() uint64 { return s.Coalesced })
+	t.walkLat = reg.Histogram(prefix + ".walk_latency")
+}
 
 // Translate resolves the virtual address's page. done receives the entry;
 // on an L1 hit it is called synchronously (zero added latency, the paper's
@@ -186,7 +202,9 @@ func (t *TLB) Translate(vaddr uint64, done func(Entry)) {
 	}
 	t.stats.Misses++
 	t.inFlight[vpn] = []func(Entry){done}
+	walkStart := t.eng.Now()
 	t.walker.Walk(t.core, vaddr, func(e Entry) {
+		t.walkLat.Observe(t.eng.Now() - walkStart)
 		t.install(e)
 		waiters := t.inFlight[vpn]
 		delete(t.inFlight, vpn)

@@ -80,6 +80,15 @@ type Config struct {
 	ROIInstructions    uint64
 	// Seed perturbs workload address streams deterministically.
 	Seed uint64
+	// TraceDepth, when positive, records the last TraceDepth machine
+	// events (tag misses, PCSHR fills/writebacks, row conflicts) of the
+	// ROI; SpanDepth likewise records per-access latency spans for
+	// 1-in-SpanSampleEvery loads per core (0 samples 1 in 64). A run with
+	// either enabled exposes the capture through Result.WriteTrace and
+	// summarises it in Snapshot.Trace.
+	TraceDepth      int
+	SpanDepth       int
+	SpanSampleEvery uint64
 }
 
 func (c Config) effectiveScheme() Scheme {
@@ -118,6 +127,9 @@ func (c Config) toInternal() system.Config {
 	if c.Seed > 0 {
 		cfg.Seed = c.Seed
 	}
+	cfg.TraceDepth = c.TraceDepth
+	cfg.SpanDepth = c.SpanDepth
+	cfg.SpanSampleEvery = c.SpanSampleEvery
 	return cfg
 }
 

@@ -2,8 +2,10 @@ package nomad
 
 import (
 	"fmt"
+	"io"
 
 	"nomad/internal/mem"
+	"nomad/internal/metrics"
 	"nomad/internal/system"
 )
 
@@ -85,7 +87,53 @@ type Result struct {
 	Evictions      uint64
 	DirtyEvictions uint64
 
+	// CPIStack attributes every ROI core-cycle to a named bucket
+	// (Fig. 11); the buckets sum exactly to Cycles × Cores.
+	CPIStack CPIStack
+
 	metrics *Snapshot
+	trace   *metrics.TraceDump
+}
+
+// CPIStack is the Fig. 11-style stall attribution, summed over cores. The
+// buckets partition every measured core-cycle: Total() == Cycles × Cores.
+type CPIStack struct {
+	// Compute is cycles not attributable to the memory system or the OS.
+	Compute uint64
+	// TagMiss is cycles threads were suspended inside OS tag-management
+	// routines — near zero under NOMAD, dominant under blocking schemes.
+	TagMiss uint64
+	// Frontend is instruction-supply stall cycles.
+	Frontend uint64
+	// Mem splits load-retirement stalls by the blocking load's location,
+	// keyed by cause name: "sram", "tlb", "mshr", "pcshr", "dram_queue",
+	// "row_conflict", "bus", "dram_service".
+	Mem map[string]uint64
+}
+
+// Total returns the core-cycles the stack accounts for.
+func (s CPIStack) Total() uint64 {
+	t := s.Compute + s.TagMiss + s.Frontend
+	for _, v := range s.Mem {
+		t += v
+	}
+	return t
+}
+
+// HasTrace reports whether the run captured events or spans (Config
+// TraceDepth/SpanDepth) for WriteTrace.
+func (r *Result) HasTrace() bool { return r.trace != nil }
+
+// WriteTrace renders the run's event/span capture as Perfetto/Chrome
+// trace-event JSON, loadable at https://ui.perfetto.dev. The output is
+// byte-identical across same-seed runs. It fails unless the run was
+// configured with Config.TraceDepth or Config.SpanDepth.
+func (r *Result) WriteTrace(w io.Writer) error {
+	if r.trace == nil {
+		return fmt.Errorf("nomad: no trace captured; set Config.TraceDepth or Config.SpanDepth")
+	}
+	run := metrics.PerfettoRun{Name: string(r.Scheme) + "/" + r.Workload, Dump: r.trace}
+	return metrics.WritePerfetto(w, run)
 }
 
 // Metrics returns the full ROI metrics snapshot the scalar fields above are
@@ -138,6 +186,16 @@ func fromInternal(r *system.Result) *Result {
 		Evictions:          r.Evictions,
 		DirtyEvictions:     r.DirtyEvictions,
 		metrics:            fromSnapshot(r.Metrics),
+		trace:              r.Trace,
+	}
+	out.CPIStack = CPIStack{
+		Compute:  r.CPIStack.Compute,
+		TagMiss:  r.CPIStack.TagMiss,
+		Frontend: r.CPIStack.Frontend,
+		Mem:      make(map[string]uint64, mem.NumStallCauses),
+	}
+	for c := mem.StallCause(0); c < mem.NumStallCauses; c++ {
+		out.CPIStack.Mem[c.String()] = r.CPIStack.Mem[c]
 	}
 	if r.Seconds > 0 {
 		for k := 0; k < mem.NumKinds; k++ {

@@ -23,6 +23,19 @@ type Snapshot struct {
 	Gauges     map[string]float64   `json:"gauges,omitempty"`
 	Histograms map[string]Histogram `json:"histograms,omitempty"`
 	Series     map[string]Series    `json:"series,omitempty"`
+	// Trace summarises the event/span capture; nil unless tracing was
+	// enabled (Config.TraceDepth / Config.SpanDepth).
+	Trace *TraceSummary `json:"trace,omitempty"`
+}
+
+// TraceSummary counts what the trace rings captured during the ROI. Dropped
+// values are ring overwrites: raise the depth (or the span sampling period)
+// if they matter for the analysis.
+type TraceSummary struct {
+	Events        uint64 `json:"events"`
+	EventsDropped uint64 `json:"events_dropped"`
+	Spans         uint64 `json:"spans"`
+	SpansDropped  uint64 `json:"spans_dropped"`
 }
 
 // Counter returns a counter by name, 0 if absent (schemes register only the
@@ -83,6 +96,10 @@ func fromSnapshot(s *metrics.Snapshot) *Snapshot {
 		Window:   s.Window,
 		Counters: s.Counters,
 		Gauges:   s.Gauges,
+	}
+	if s.Trace != nil {
+		t := TraceSummary(*s.Trace)
+		out.Trace = &t
 	}
 	if len(s.Histograms) > 0 {
 		out.Histograms = make(map[string]Histogram, len(s.Histograms))
