@@ -71,21 +71,44 @@ func BenchmarkSelective(b *testing.B) { benchExperiment(b, "selective") }
 // (Fig. 11 style: where every core-cycle went, per scheme).
 func BenchmarkCPIStack(b *testing.B) { benchExperiment(b, "cpistack") }
 
+// BenchmarkTimelineExperiment regenerates the interval-telemetry burst
+// trace (libquantum under TDC vs NOMAD).
+func BenchmarkTimelineExperiment(b *testing.B) { benchExperiment(b, "timeline") }
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
 // cycles per wall second) on the default NOMAD configuration — the number
 // that bounds how fast every artifact regenerates.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	benchThroughput(b, Config{
+		Scheme:             SchemeNOMAD,
+		WarmupInstructions: 1,
+		ROIInstructions:    200_000,
+	})
+}
+
+// BenchmarkSimulatorThroughputTimeline is BenchmarkSimulatorThroughput with
+// interval telemetry enabled at the default 100k-cycle window. Comparing the
+// two cycles/s numbers demonstrates the timeline capture's overhead (the
+// design target is under 5%; cmd/bench records the same measurement in its
+// timeline_overhead section).
+func BenchmarkSimulatorThroughputTimeline(b *testing.B) {
+	benchThroughput(b, Config{
+		Scheme:             SchemeNOMAD,
+		WarmupInstructions: 1,
+		ROIInstructions:    200_000,
+		Timeline:           true,
+	})
+}
+
+func benchThroughput(b *testing.B, cfg Config) {
+	b.Helper()
 	w, err := WorkloadByAbbr("cact")
 	if err != nil {
 		b.Fatal(err)
 	}
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		res, err := Run(Config{
-			Scheme:             SchemeNOMAD,
-			WarmupInstructions: 1,
-			ROIInstructions:    200_000,
-		}, w)
+		res, err := Run(cfg, w)
 		if err != nil {
 			b.Fatal(err)
 		}

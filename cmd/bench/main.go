@@ -1,0 +1,385 @@
+// Command bench is the repository's benchmark-regression pipeline: it runs
+// an end-to-end simulation-throughput benchmark per scheme, measures the
+// timeline-capture overhead, optionally runs the package's Go benchmarks,
+// and emits one schema-stable BENCH_<date>.json. When a previous BENCH file
+// exists it prints a comparison and flags metrics that moved past the
+// threshold.
+//
+// Usage:
+//
+//	bench                          # run, write bench/BENCH_<date>.json, compare
+//	bench -out results -threshold 0.15
+//	bench -gobench ''              # skip the go-test benchmarks (fastest)
+//	bench -fail-on-regress         # exit 1 when a regression exceeds threshold
+//
+// The comparison is advisory by default (exit 0) so CI can surface deltas
+// without blocking merges; -fail-on-regress turns it into a gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nomad"
+)
+
+// Schema identifies the BENCH JSON layout; bump only with a migration note
+// in DESIGN.md.
+const Schema = "nomad-bench/1"
+
+// benchROI keeps each end-to-end run short enough for CI while long enough
+// (several interval windows) for stable cycles/sec.
+const benchROI = 200_000
+
+// File is one BENCH_<date>.json document.
+type File struct {
+	Schema    string    `json:"schema"`
+	Date      string    `json:"date"`
+	GoVersion string    `json:"go_version"`
+	Host      string    `json:"host"`
+	E2E       []E2E     `json:"e2e"`
+	Timeline  *Overhead `json:"timeline_overhead,omitempty"`
+	GoBench   []GoBench `json:"gobench,omitempty"`
+}
+
+// E2E is one end-to-end throughput measurement (higher cycles/sec is
+// better).
+type E2E struct {
+	Name            string  `json:"name"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	PeakHeapBytes   uint64  `json:"peak_heap_bytes"`
+}
+
+// Overhead is the timeline-capture slowdown measurement: the same run with
+// and without Config.Timeline, best-of-N cycles/sec each.
+type Overhead struct {
+	BaseCyclesPerSec     float64 `json:"base_cycles_per_sec"`
+	TimelineCyclesPerSec float64 `json:"timeline_cycles_per_sec"`
+	// OverheadPct is the relative slowdown in percent; negative means the
+	// timeline run happened to be faster (noise).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// GoBench is one `go test -bench` result (lower ns/op is better).
+type GoBench struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func main() {
+	debug.SetGCPercent(600)
+	var (
+		outDir  = flag.String("out", "bench", "directory for BENCH_<date>.json")
+		compare = flag.String("compare", "", "previous BENCH file to diff against (default: latest in -out)")
+		thresh  = flag.Float64("threshold", 0.10, "relative change flagged as a regression")
+		gobench = flag.String("gobench", "BenchmarkSimulatorThroughput", "go test -bench regexp ('' skips)")
+		reps    = flag.Int("reps", 3, "repetitions per throughput measurement (best-of)")
+		failOn  = flag.Bool("fail-on-regress", false, "exit 1 when any metric regresses past threshold")
+	)
+	flag.Parse()
+
+	f := &File{
+		Schema:    Schema,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Host:      runtime.GOOS + "/" + runtime.GOARCH,
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: end-to-end throughput (%d reps per scheme)\n", *reps)
+	for _, scheme := range nomad.Schemes() {
+		e, err := runE2E(scheme, *reps)
+		if err != nil {
+			fatal("e2e %s: %v", scheme, err)
+		}
+		f.E2E = append(f.E2E, e)
+		fmt.Fprintf(os.Stderr, "  %-14s %8.2f Mcyc/s  %8.2f Mevents/s  heap %5.1f MB\n",
+			e.Name, e.SimCyclesPerSec/1e6, e.EventsPerSec/1e6, float64(e.PeakHeapBytes)/(1024*1024))
+	}
+
+	fmt.Fprintln(os.Stderr, "bench: timeline overhead")
+	ov, err := runOverhead(*reps)
+	if err != nil {
+		fatal("timeline overhead: %v", err)
+	}
+	f.Timeline = ov
+	fmt.Fprintf(os.Stderr, "  base %.2f Mcyc/s, timeline %.2f Mcyc/s, overhead %.2f%%\n",
+		ov.BaseCyclesPerSec/1e6, ov.TimelineCyclesPerSec/1e6, ov.OverheadPct)
+
+	if *gobench != "" {
+		fmt.Fprintf(os.Stderr, "bench: go test -bench %s\n", *gobench)
+		gb, err := runGoBench(*gobench)
+		if err != nil {
+			fatal("gobench: %v", err)
+		}
+		f.GoBench = gb
+		for _, b := range gb {
+			fmt.Fprintf(os.Stderr, "  %-40s %12.0f ns/op\n", b.Name, b.NsPerOp)
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal("%v", err)
+	}
+	outPath := filepath.Join(*outDir, "BENCH_"+f.Date+".json")
+	prevPath := *compare
+	if prevPath == "" {
+		prevPath = latestBenchFile(*outDir, outPath)
+	}
+	if err := writeFile(outPath, f); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", outPath)
+
+	if prevPath == "" {
+		fmt.Println("no previous BENCH file; baseline recorded")
+		return
+	}
+	prev, err := readFile(prevPath)
+	if err != nil {
+		fatal("compare %s: %v", prevPath, err)
+	}
+	deltas := Compare(prev, f, *thresh)
+	fmt.Printf("comparison vs %s (threshold %.0f%%):\n", filepath.Base(prevPath), 100**thresh)
+	regressed := false
+	for _, d := range deltas {
+		fmt.Println("  " + d.String())
+		if d.Regression {
+			regressed = true
+		}
+	}
+	if regressed && *failOn {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runE2E measures one scheme's simulation throughput on cactusADM with
+// self-profiling attached, keeping the fastest of reps runs (throughput
+// benchmarks take the best sample: it has the least scheduler noise).
+func runE2E(scheme nomad.Scheme, reps int) (E2E, error) {
+	w, err := nomad.WorkloadByAbbr("cact")
+	if err != nil {
+		return E2E{}, err
+	}
+	best := E2E{Name: "e2e/" + string(scheme)}
+	for i := 0; i < reps; i++ {
+		res, err := nomad.Run(nomad.Config{
+			Scheme:             scheme,
+			WarmupInstructions: 1,
+			ROIInstructions:    benchROI,
+			SelfProfile:        true,
+		}, w)
+		if err != nil {
+			return E2E{}, err
+		}
+		h := res.Host()
+		if h == nil {
+			return E2E{}, fmt.Errorf("run returned no host profile")
+		}
+		if h.SimCyclesPerSec > best.SimCyclesPerSec {
+			best.SimCycles = h.SimCycles
+			best.WallSeconds = h.WallSeconds
+			best.SimCyclesPerSec = h.SimCyclesPerSec
+			best.EventsPerSec = h.EventsPerSec
+			best.PeakHeapBytes = h.PeakHeapInUseBytes
+		}
+	}
+	return best, nil
+}
+
+// runOverhead measures the timeline capture's slowdown: NOMAD on cactusADM
+// with and without Config.Timeline at the default interval, best-of-reps
+// cycles/sec each.
+func runOverhead(reps int) (*Overhead, error) {
+	w, err := nomad.WorkloadByAbbr("cact")
+	if err != nil {
+		return nil, err
+	}
+	measure := func(timeline bool) (float64, error) {
+		var best float64
+		for i := 0; i < reps; i++ {
+			res, err := nomad.Run(nomad.Config{
+				Scheme:             nomad.SchemeNOMAD,
+				WarmupInstructions: 1,
+				ROIInstructions:    benchROI,
+				Timeline:           timeline,
+				SelfProfile:        true,
+			}, w)
+			if err != nil {
+				return 0, err
+			}
+			if h := res.Host(); h != nil && h.SimCyclesPerSec > best {
+				best = h.SimCyclesPerSec
+			}
+		}
+		return best, nil
+	}
+	base, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	tl, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	ov := &Overhead{BaseCyclesPerSec: base, TimelineCyclesPerSec: tl}
+	if base > 0 {
+		ov.OverheadPct = 100 * (base - tl) / base
+	}
+	return ov, nil
+}
+
+// runGoBench shells out to the Go toolchain for the package benchmarks and
+// parses the standard -bench output.
+func runGoBench(pattern string) ([]GoBench, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern, "-benchtime", "1x", ".")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%w\n%s", err, out)
+	}
+	return ParseGoBench(string(out)), nil
+}
+
+// ParseGoBench extracts Benchmark lines from `go test -bench` output. The
+// trailing -N GOMAXPROCS suffix is stripped so names stay stable across
+// machines.
+func ParseGoBench(out string) []GoBench {
+	var res []GoBench
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		res = append(res, GoBench{Name: name, NsPerOp: ns})
+	}
+	return res
+}
+
+// Delta is one compared metric.
+type Delta struct {
+	Name string
+	// Old and New are in the metric's native unit (cycles/sec or ns/op).
+	Old, New float64
+	// Change is the relative change, signed so that POSITIVE is better
+	// (throughput up, ns/op down).
+	Change     float64
+	Regression bool
+}
+
+// String renders one comparison line.
+func (d Delta) String() string {
+	tag := ""
+	if d.Regression {
+		tag = "  REGRESSION"
+	}
+	return fmt.Sprintf("%-40s %12.3g -> %12.3g  %+6.1f%%%s", d.Name, d.Old, d.New, 100*d.Change, tag)
+}
+
+// Compare diffs two BENCH files metric-by-metric. Metrics present in only
+// one file are skipped (schema growth is not a regression). threshold is
+// the relative worsening flagged as a regression.
+func Compare(prev, cur *File, threshold float64) []Delta {
+	var deltas []Delta
+	higherBetter := func(name string, old, new float64) {
+		if old <= 0 {
+			return
+		}
+		ch := (new - old) / old
+		deltas = append(deltas, Delta{Name: name, Old: old, New: new, Change: ch, Regression: ch < -threshold})
+	}
+	lowerBetter := func(name string, old, new float64) {
+		if old <= 0 {
+			return
+		}
+		ch := (old - new) / old
+		deltas = append(deltas, Delta{Name: name, Old: old, New: new, Change: ch, Regression: ch < -threshold})
+	}
+	prevE2E := map[string]E2E{}
+	for _, e := range prev.E2E {
+		prevE2E[e.Name] = e
+	}
+	for _, e := range cur.E2E {
+		if p, ok := prevE2E[e.Name]; ok {
+			higherBetter(e.Name+" cycles/s", p.SimCyclesPerSec, e.SimCyclesPerSec)
+		}
+	}
+	if prev.Timeline != nil && cur.Timeline != nil {
+		// The overhead itself is a lower-is-better percentage; compare the
+		// absolute timeline-on throughput, which is what users experience.
+		higherBetter("timeline cycles/s", prev.Timeline.TimelineCyclesPerSec, cur.Timeline.TimelineCyclesPerSec)
+	}
+	prevGB := map[string]GoBench{}
+	for _, b := range prev.GoBench {
+		prevGB[b.Name] = b
+	}
+	for _, b := range cur.GoBench {
+		if p, ok := prevGB[b.Name]; ok {
+			lowerBetter(b.Name+" ns/op", p.NsPerOp, b.NsPerOp)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// latestBenchFile returns the lexically latest BENCH_*.json in dir other
+// than exclude ("" when none exists). BENCH filenames embed ISO dates, so
+// lexical order is chronological.
+func latestBenchFile(dir, exclude string) string {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if matches[i] != exclude {
+			return matches[i]
+		}
+	}
+	return ""
+}
+
+func writeFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("unsupported schema %q (want %q)", f.Schema, Schema)
+	}
+	return &f, nil
+}

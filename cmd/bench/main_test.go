@@ -1,0 +1,134 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParseGoBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: nomad
+BenchmarkSimulatorThroughput-8   	       1	512345678 ns/op	  92345678 cycles/s
+BenchmarkFig2-8                  	       1	903456789 ns/op
+PASS
+ok  	nomad	2.345s
+`
+	got := ParseGoBench(out)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(got), got)
+	}
+	if got[0].Name != "BenchmarkSimulatorThroughput" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", got[0].Name)
+	}
+	if got[0].NsPerOp != 512345678 {
+		t.Errorf("ns/op = %v, want 512345678", got[0].NsPerOp)
+	}
+	if got[1].Name != "BenchmarkFig2" || got[1].NsPerOp != 903456789 {
+		t.Errorf("second entry = %+v", got[1])
+	}
+}
+
+func TestParseGoBenchIgnoresJunk(t *testing.T) {
+	if got := ParseGoBench("FAIL\nBenchmarkX-8 bogus line\n"); len(got) != 0 {
+		t.Fatalf("parsed junk as benchmarks: %+v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	prev := &File{
+		Schema: Schema,
+		E2E: []E2E{
+			{Name: "e2e/NOMAD", SimCyclesPerSec: 100},
+			{Name: "e2e/TDC", SimCyclesPerSec: 200},
+			{Name: "e2e/Gone", SimCyclesPerSec: 50},
+		},
+		Timeline: &Overhead{TimelineCyclesPerSec: 95},
+		GoBench:  []GoBench{{Name: "BenchmarkX", NsPerOp: 1000}},
+	}
+	cur := &File{
+		Schema: Schema,
+		E2E: []E2E{
+			{Name: "e2e/NOMAD", SimCyclesPerSec: 85}, // -15%: regression at 10%
+			{Name: "e2e/TDC", SimCyclesPerSec: 210},  // +5%: fine
+			{Name: "e2e/New", SimCyclesPerSec: 70},   // no baseline: skipped
+		},
+		Timeline: &Overhead{TimelineCyclesPerSec: 96},
+		GoBench:  []GoBench{{Name: "BenchmarkX", NsPerOp: 1200}}, // +20% ns/op: regression
+	}
+	deltas := Compare(prev, cur, 0.10)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4: %+v", len(deltas), deltas)
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["e2e/NOMAD cycles/s"]; !d.Regression {
+		t.Errorf("15%% throughput drop not flagged: %+v", d)
+	}
+	if d := byName["e2e/TDC cycles/s"]; d.Regression {
+		t.Errorf("5%% improvement flagged as regression: %+v", d)
+	}
+	if d := byName["BenchmarkX ns/op"]; !d.Regression {
+		t.Errorf("20%% ns/op increase not flagged: %+v", d)
+	}
+	if d := byName["timeline cycles/s"]; d.Regression {
+		t.Errorf("timeline improvement flagged: %+v", d)
+	}
+	if _, ok := byName["e2e/Gone cycles/s"]; ok {
+		t.Error("metric absent from current file should be skipped")
+	}
+	if _, ok := byName["e2e/New cycles/s"]; ok {
+		t.Error("metric absent from previous file should be skipped")
+	}
+}
+
+func TestFileRoundTripAndSchemaCheck(t *testing.T) {
+	dir := t.TempDir()
+	f := &File{
+		Schema: Schema, Date: "2026-08-05", GoVersion: "go-test", Host: "test/none",
+		E2E:      []E2E{{Name: "e2e/NOMAD", SimCycles: 1, SimCyclesPerSec: 2}},
+		Timeline: &Overhead{BaseCyclesPerSec: 3, TimelineCyclesPerSec: 2.9, OverheadPct: 3.3},
+	}
+	path := filepath.Join(dir, "BENCH_2026-08-05.json")
+	if err := writeFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Date != f.Date || len(got.E2E) != 1 || got.E2E[0].Name != "e2e/NOMAD" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	bad := &File{Schema: "nomad-bench/999"}
+	badPath := filepath.Join(dir, "BENCH_2026-08-06.json")
+	if err := writeFile(badPath, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFile(badPath); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+func TestLatestBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-08-01.json", "BENCH_2026-08-03.json", "BENCH_2026-08-02.json"} {
+		if err := writeFile(filepath.Join(dir, name), &File{Schema: Schema}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest := filepath.Join(dir, "BENCH_2026-08-03.json")
+	if got := latestBenchFile(dir, ""); got != latest {
+		t.Errorf("latest = %q, want %q", got, latest)
+	}
+	// Excluding today's own file returns the previous one.
+	if got := latestBenchFile(dir, latest); got != filepath.Join(dir, "BENCH_2026-08-02.json") {
+		t.Errorf("latest excluding newest = %q", got)
+	}
+	if got := latestBenchFile(t.TempDir(), ""); got != "" {
+		t.Errorf("empty dir should return \"\", got %q", got)
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime/debug"
@@ -43,6 +45,7 @@ import (
 
 	"nomad/internal/harness"
 	"nomad/internal/metrics"
+	"nomad/internal/system"
 )
 
 // Trace capture depths used by -trace: large enough that a -fast ROI fits
@@ -64,6 +67,11 @@ func main() {
 		verbose  = flag.Bool("v", false, "print each run's summary line (to stderr)")
 		format   = flag.String("format", "text", "output format: text, json, or csv")
 		traceOut = flag.String("trace", "", "write a Perfetto trace of every run to this file")
+		timeline = flag.Bool("timeline", false, "capture interval time-series telemetry in every run")
+		interval = flag.Uint64("interval", 0, "timeline/progress window in cycles (0 = 100000)")
+		profile  = flag.Bool("profile", false, "self-profile each simulation (host cycles/sec, heap, GC)")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
+		progress = flag.Bool("progress", false, "print per-run progress and ETA to stderr at each interval tick")
 	)
 	flag.Parse()
 
@@ -81,10 +89,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := harness.Options{Fast: *fast, Parallelism: *parallel, Verbose: *verbose, Log: os.Stderr}
+	opts := harness.Options{
+		Fast: *fast, Parallelism: *parallel, Verbose: *verbose, Log: os.Stderr,
+		Timeline: *timeline, Interval: *interval, SelfProfile: *profile,
+	}
 	if *traceOut != "" {
 		opts.TraceDepth = traceEventDepth
 		opts.SpanDepth = traceSpanDepth
+	}
+	if *progress {
+		opts.Progress = func(key string) func(system.Progress) {
+			return system.ProgressPrinter(os.Stderr, key)
+		}
+	}
+	if *pprofSrv != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
 	}
 	var exps []harness.Experiment
 	if *runIDs == "all" {
@@ -118,6 +141,9 @@ func main() {
 		rep, err := e.Run(ctx, opts)
 		if err != nil {
 			fail("%s failed: %v", e.ID, err)
+		}
+		for _, warn := range rep.Warnings {
+			fmt.Fprintf(os.Stderr, "warning: %s: %s\n", e.ID, warn)
 		}
 		traceRuns = append(traceRuns, collectTraces(e.ID, rep)...)
 		elapsed := time.Since(start).Round(time.Millisecond)

@@ -13,8 +13,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime/debug"
+	"strings"
 
 	"nomad/internal/mem"
 	"nomad/internal/metrics"
@@ -38,6 +41,12 @@ func main() {
 		touch    = flag.Uint64("touch", 0, "selective caching: cache on Nth walk (OS-managed schemes)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		traceOut = flag.String("trace", "", "write a Perfetto trace to this file (open at ui.perfetto.dev)")
+		timeline = flag.Bool("timeline", false, "capture interval time-series telemetry (per-window IPC, hit rates, bandwidth)")
+		interval = flag.Uint64("interval", 0, "timeline/progress window in cycles (0 = 100000)")
+		tlFilter = flag.String("timeline-metrics", "", "comma-separated name prefixes restricting timeline columns (e.g. core.,hbm.gbs.)")
+		profile  = flag.Bool("profile", false, "self-profile the simulator (wall-clock cycles/sec, heap, GC pauses)")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
+		progress = flag.Bool("progress", false, "print simulated-cycle progress and ETA to stderr at each interval tick")
 		list     = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -82,16 +91,44 @@ func main() {
 		cfg.TraceDepth = 1 << 16
 		cfg.SpanDepth = 1 << 15
 	}
+	cfg.Timeline = *timeline
+	cfg.Interval = *interval
+	if *tlFilter != "" {
+		cfg.TimelineMetrics = strings.Split(*tlFilter, ",")
+	}
+	cfg.SelfProfile = *profile
+
+	if *pprofSrv != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
 
 	m, err := system.New(cfg, sp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *progress {
+		m.SetProgress(system.ProgressPrinter(os.Stderr, sp.Abbr))
+	}
 	r, err := m.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if t := r.Metrics.Trace; t != nil {
+		if t.EventsDropped > 0 {
+			fmt.Fprintf(os.Stderr, "warning: event ring dropped %d of %d events; raise trace depth for full coverage\n",
+				t.EventsDropped, t.EventsDropped+t.Events)
+		}
+		if t.SpansDropped > 0 {
+			fmt.Fprintf(os.Stderr, "warning: span ring dropped %d of %d spans; raise span depth or sampling period\n",
+				t.SpansDropped, t.SpansDropped+t.Spans)
+		}
 	}
 
 	if *traceOut != "" && r.Trace != nil {
@@ -171,5 +208,45 @@ func main() {
 		ts := tid.TiDStats()
 		fmt.Printf("tid                 hits %d misses %d (rate %.1f%%) coalesced %d wb %d mshrStalls %d\n",
 			ts.Hits, ts.Misses, 100*ts.MissRate(), ts.Coalesced, ts.Writebacks, ts.MSHRStalls)
+	}
+	if tl := r.Metrics.Timeline; tl != nil {
+		fmt.Printf("timeline            %d windows x %d cycles, %d metrics (full columns with -json)\n",
+			tl.Windows(), tl.Interval, len(tl.Metrics))
+		printTimelineDigest(tl)
+	}
+	if h := r.Host; h != nil {
+		fmt.Printf("host                %.2fs wall, %.2f Mcyc/s, %.2f Mevents/s, peak heap %.1f MB, %d GC pauses (%.2f ms)\n",
+			h.WallSeconds, h.SimCyclesPerSec/1e6, h.EventsPerSec/1e6,
+			float64(h.PeakHeapInUseBytes)/(1024*1024), h.GCPauses, float64(h.GCPauseTotalNs)/1e6)
+	}
+}
+
+// timelineDigestCols are the whole-system columns the text rendering shows;
+// the full per-core/per-kind set is available under -json.
+var timelineDigestCols = []string{"sim.ipc", "dc.hit_rate", "hbm.row_conflict_rate", "backend.pcshr_highwater"}
+
+// printTimelineDigest renders a compact per-window table of the digest
+// columns that were actually collected.
+func printTimelineDigest(tl *metrics.TimelineSnapshot) {
+	var cols []string
+	for _, c := range timelineDigestCols {
+		if tl.Metric(c) != nil {
+			cols = append(cols, c)
+		}
+	}
+	if len(cols) == 0 {
+		return
+	}
+	fmt.Printf("  %-14s", "end (kcyc)")
+	for _, c := range cols {
+		fmt.Printf("  %s", c)
+	}
+	fmt.Println()
+	for i, end := range tl.Cycles {
+		fmt.Printf("  %-14d", end/1000)
+		for _, c := range cols {
+			fmt.Printf("  %*.3f", len(c), tl.Metric(c)[i])
+		}
+		fmt.Println()
 	}
 }

@@ -31,6 +31,15 @@ type ExperimentOptions struct {
 	TraceDepth      int
 	SpanDepth       int
 	SpanSampleEvery uint64
+	// Timeline enables interval time-series capture in every underlying run
+	// (see Config.Timeline); TimelineInterval and TimelineMetrics carry the
+	// same meaning as their Config counterparts.
+	Timeline         bool
+	TimelineInterval uint64
+	TimelineMetrics  []string
+	// SelfProfile attaches host-side simulator profiling to every run
+	// (Result.Host).
+	SelfProfile bool
 }
 
 // Experiments lists every reproducible table and figure.
@@ -54,6 +63,9 @@ type ExperimentResult struct {
 	// from, each carrying its full metrics snapshot. Analysis-only
 	// experiments leave it empty.
 	Runs map[string]*Result
+	// Warnings flags data-quality issues in the underlying runs, currently
+	// trace/span ring drops; empty means every capture is complete.
+	Warnings []string
 
 	rep *harness.Report
 }
@@ -92,6 +104,10 @@ func RunExperimentResult(ctx context.Context, id string, opts ExperimentOptions)
 		TraceDepth:      opts.TraceDepth,
 		SpanDepth:       opts.SpanDepth,
 		SpanSampleEvery: opts.SpanSampleEvery,
+		Timeline:        opts.Timeline,
+		Interval:        opts.TimelineInterval,
+		TimelineMetrics: opts.TimelineMetrics,
+		SelfProfile:     opts.SelfProfile,
 	})
 	if err != nil {
 		return nil, err
@@ -115,7 +131,7 @@ func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
 }
 
 func fromReport(rep *harness.Report) *ExperimentResult {
-	out := &ExperimentResult{ID: rep.ID, Title: rep.Title, rep: rep}
+	out := &ExperimentResult{ID: rep.ID, Title: rep.Title, Warnings: rep.Warnings, rep: rep}
 	for _, sec := range rep.Sections {
 		s := ExperimentSection{Notes: sec.Notes}
 		if sec.Table != nil {

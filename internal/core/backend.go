@@ -210,8 +210,11 @@ type Backend struct {
 	// RegisterMetrics). trace records the PCSHR and fill lifecycle.
 	pcshrOcc *metrics.Histogram
 	bufInUse *metrics.Histogram
-	trace    *metrics.Trace
-	spans    *metrics.SpanRing
+	// occPeak is the highest register occupancy seen since the last
+	// timeline interval read (Fig. 14's burst high-water mark).
+	occPeak int
+	trace   *metrics.Trace
+	spans   *metrics.SpanRing
 	// onComplete, if set, is called when any command completes (tests).
 	onComplete func(Command)
 }
@@ -275,6 +278,20 @@ func (b *Backend) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.CounterFunc(prefix+".accept_count", func() uint64 { return s.AcceptCount })
 	reg.CounterFunc(prefix+".buffer_wait_sum", func() uint64 { return s.BufferWaitSum })
 	reg.SeriesFunc(prefix+".active_pcshrs", func(now uint64) float64 { return float64(b.ActivePCSHRs()) })
+	// Timeline column: per-interval PCSHR occupancy high-water. The peak is
+	// maintained at each allocation and read-and-reset once per window, so
+	// a burst that fills the registers mid-window is visible even if they
+	// drain again before the boundary.
+	reg.IntervalFunc(prefix+".pcshr_highwater",
+		func(now uint64) { b.occPeak = b.ActivePCSHRs() },
+		func(now uint64) float64 {
+			hw := b.occPeak
+			if cur := b.ActivePCSHRs(); cur > hw {
+				hw = cur
+			}
+			b.occPeak = b.ActivePCSHRs()
+			return float64(hw)
+		})
 	b.pcshrOcc = reg.Histogram(prefix + ".pcshr_occupancy")
 	b.bufInUse = reg.Histogram(prefix + ".buffer_in_use")
 	b.trace = reg.Trace()
@@ -338,6 +355,9 @@ func (b *Backend) drainCommands(g *group) {
 		b.stats.AcceptCount++
 		b.stats.PCSHROccupancySum += uint64(occupied)
 		b.pcshrOcc.Observe(uint64(occupied))
+		if occupied+1 > b.occPeak {
+			b.occPeak = occupied + 1
+		}
 		b.allocate(free, pc.cmd)
 		if pc.done != nil {
 			pc.done()

@@ -9,12 +9,13 @@ import (
 	"testing"
 	"time"
 
+	"nomad/internal/metrics"
 	"nomad/internal/system"
 	"nomad/internal/workload"
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations", "replacement", "selective", "cpistack"}
+	want := []string{"table1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations", "replacement", "selective", "cpistack", "timeline"}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
 			t.Errorf("experiment %q not registered", id)
@@ -246,5 +247,60 @@ func TestOptionsBaseConfig(t *testing.T) {
 	}
 	if (Options{Parallelism: 3}).workers() != 3 {
 		t.Fatal("explicit parallelism ignored")
+	}
+}
+
+func TestBaseConfigCarriesTelemetryOptions(t *testing.T) {
+	opts := Options{
+		Timeline:        true,
+		Interval:        12_345,
+		TimelineMetrics: []string{"core.", "hbm."},
+		SelfProfile:     true,
+		TraceDepth:      7,
+	}
+	cfg := opts.BaseConfig()
+	if !cfg.Timeline || cfg.Interval != 12_345 || !cfg.SelfProfile || cfg.TraceDepth != 7 {
+		t.Fatalf("options not carried into config: %+v", cfg)
+	}
+	if len(cfg.TimelineMetrics) != 2 || cfg.TimelineMetrics[0] != "core." {
+		t.Fatalf("timeline metrics filter lost: %v", cfg.TimelineMetrics)
+	}
+}
+
+func TestDropWarnings(t *testing.T) {
+	mk := func(evDrop, spDrop uint64) *system.Result {
+		return &system.Result{Metrics: &metrics.Snapshot{
+			Trace: &metrics.TraceSummary{
+				Events: 10, EventsDropped: evDrop,
+				Spans: 20, SpansDropped: spDrop,
+			},
+		}}
+	}
+	res := Results{
+		"b/clean":   mk(0, 0),
+		"a/events":  mk(5, 0),
+		"c/spans":   mk(0, 3),
+		"d/notrace": {Metrics: &metrics.Snapshot{}},
+	}
+	warns := dropWarnings(res)
+	if len(warns) != 2 {
+		t.Fatalf("warnings = %v, want 2", warns)
+	}
+	// Sorted by key: a/events first, c/spans second.
+	if !strings.Contains(warns[0], "a/events") || !strings.Contains(warns[0], "dropped 5 of 15 events") {
+		t.Fatalf("event warning wrong: %q", warns[0])
+	}
+	if !strings.Contains(warns[1], "c/spans") || !strings.Contains(warns[1], "dropped 3 of 23 spans") {
+		t.Fatalf("span warning wrong: %q", warns[1])
+	}
+}
+
+func TestNewReportAttachesWarnings(t *testing.T) {
+	res := Results{"k": &system.Result{Metrics: &metrics.Snapshot{
+		Trace: &metrics.TraceSummary{Events: 1, EventsDropped: 2},
+	}}}
+	rep := newReport("fig2", res)
+	if len(rep.Warnings) != 1 || !strings.Contains(rep.Warnings[0], "k:") {
+		t.Fatalf("warnings = %v", rep.Warnings)
 	}
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Report is the structured output of one experiment: the sections the text
@@ -15,6 +16,10 @@ type Report struct {
 	// Runs holds the raw per-simulation results the sections were derived
 	// from. Analysis-only experiments (replacement) leave it empty.
 	Runs Results `json:"runs,omitempty"`
+	// Warnings flags data-quality issues in the underlying runs — currently
+	// trace/span ring drops (the capture lost its oldest entries). Sorted by
+	// run key; empty means every capture is complete.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // Section is one block of a report: commentary lines followed by an optional
@@ -26,7 +31,32 @@ type Section struct {
 
 // newReport starts a report for the registered experiment id.
 func newReport(id string, res Results) *Report {
-	return &Report{ID: id, Title: registry[id].Title, Runs: res}
+	return &Report{ID: id, Title: registry[id].Title, Runs: res, Warnings: dropWarnings(res)}
+}
+
+// dropWarnings scans run snapshots for ring-buffer overwrites: a dropped
+// event or span means the exported trace silently lost its oldest entries,
+// which matters for any analysis that assumes full coverage.
+func dropWarnings(res Results) []string {
+	var warns []string
+	for k, r := range res {
+		if r == nil || r.Metrics == nil || r.Metrics.Trace == nil {
+			continue
+		}
+		t := r.Metrics.Trace
+		if t.EventsDropped > 0 {
+			warns = append(warns, fmt.Sprintf(
+				"%s: event ring dropped %d of %d events; raise trace depth for full coverage",
+				k, t.EventsDropped, t.EventsDropped+t.Events))
+		}
+		if t.SpansDropped > 0 {
+			warns = append(warns, fmt.Sprintf(
+				"%s: span ring dropped %d of %d spans; raise span depth or sampling period",
+				k, t.SpansDropped, t.SpansDropped+t.Spans))
+		}
+	}
+	sort.Strings(warns)
+	return warns
 }
 
 // add appends a section built from notes and an optional table.

@@ -39,6 +39,19 @@ type Options struct {
 	SpanDepth  int
 	// SpanSampleEvery overrides the span sampling period (0 = default).
 	SpanSampleEvery uint64
+	// Timeline enables interval time-series capture in every run; Interval
+	// overrides the window length in cycles (0 = sim.DefaultInterval) and
+	// TimelineMetrics restricts the collected columns by name prefix.
+	Timeline        bool
+	Interval        uint64
+	TimelineMetrics []string
+	// SelfProfile attaches host-side simulator profiling to every run
+	// (Result.Host). Host readings are non-deterministic.
+	SelfProfile bool
+	// Progress, when non-nil, is called once per run with its key and must
+	// return a Machine.SetProgress callback (or nil). Callbacks fire on
+	// worker goroutines; system.ProgressPrinter returns a suitable one.
+	Progress func(key string) func(system.Progress)
 }
 
 func (o Options) workers() int {
@@ -58,6 +71,10 @@ func (o Options) BaseConfig() system.Config {
 	cfg.TraceDepth = o.TraceDepth
 	cfg.SpanDepth = o.SpanDepth
 	cfg.SpanSampleEvery = o.SpanSampleEvery
+	cfg.Timeline = o.Timeline
+	cfg.Interval = o.Interval
+	cfg.TimelineMetrics = o.TimelineMetrics
+	cfg.SelfProfile = o.SelfProfile
 	return cfg
 }
 
@@ -103,6 +120,9 @@ func Execute(ctx context.Context, opts Options, runs []Run) (Results, error) {
 				if err != nil {
 					outcomes[i] = outcome{err: err}
 					continue
+				}
+				if opts.Progress != nil {
+					m.SetProgress(opts.Progress(r.Key))
 				}
 				res, err := m.RunContext(ctx)
 				outcomes[i] = outcome{res: res, err: err}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHostProfilerNilSafe(t *testing.T) {
+	var p *HostProfiler
+	p.MaybeSample(1, 1) // must not panic
+	if r := p.Finish(1, 1); r != nil {
+		t.Fatalf("nil profiler produced a report: %+v", r)
+	}
+}
+
+func TestHostProfilerFinish(t *testing.T) {
+	p := NewHostProfiler(time.Hour) // period long enough that no sample fires
+	r := p.Finish(320_000, 12_345)
+	if r == nil {
+		t.Fatal("no report")
+	}
+	if r.SimCycles != 320_000 || r.EventsExecuted != 12_345 {
+		t.Fatalf("cycles/events = %d/%d", r.SimCycles, r.EventsExecuted)
+	}
+	if r.WallSeconds <= 0 {
+		t.Fatalf("wall = %v", r.WallSeconds)
+	}
+	if r.SimCyclesPerSec <= 0 || r.EventsPerSec <= 0 {
+		t.Fatalf("rates = %v / %v", r.SimCyclesPerSec, r.EventsPerSec)
+	}
+	if r.PeakHeapInUseBytes == 0 {
+		t.Fatal("peak heap not captured")
+	}
+	if len(r.Samples) != 0 {
+		t.Fatalf("samples fired despite hour-long period: %d", len(r.Samples))
+	}
+}
+
+func TestHostProfilerSamples(t *testing.T) {
+	p := NewHostProfiler(time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	p.MaybeSample(100, 10)
+	time.Sleep(time.Millisecond)
+	p.MaybeSample(300, 25)
+	r := p.Finish(400, 30)
+	if len(r.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(r.Samples))
+	}
+	s := r.Samples[1]
+	if s.SimCycles != 300 || s.Events != 25 {
+		t.Fatalf("second sample = %+v", s)
+	}
+	if s.CyclesPerSec <= 0 {
+		t.Fatalf("rate = %v", s.CyclesPerSec)
+	}
+	if s.WallSeconds <= r.Samples[0].WallSeconds {
+		t.Fatal("wall time not monotonic across samples")
+	}
+}
+
+func TestHostProfilerThrottles(t *testing.T) {
+	p := NewHostProfiler(time.Hour)
+	for i := 0; i < 100; i++ {
+		p.MaybeSample(uint64(i), uint64(i))
+	}
+	if r := p.Finish(100, 100); len(r.Samples) != 0 {
+		t.Fatalf("throttle let %d samples through", len(r.Samples))
+	}
+}

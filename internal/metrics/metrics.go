@@ -130,6 +130,17 @@ type Registry struct {
 	spans    *SpanRing
 	window   uint64
 
+	// Interval timeline state (timeline.go): registered columns, the name
+	// namespace, the registration filter, and the collected windows.
+	intervals []intervalEntry
+	inames    map[string]bool
+	tlFilter  []string
+	tlActive  bool
+	tlStart   uint64
+	tlLast    uint64
+	tlEvery   uint64
+	tlCycles  []uint64
+
 	marked       bool
 	markCycle    uint64
 	baseCounters []uint64
@@ -228,6 +239,11 @@ func (r *Registry) Spans() *SpanRing { return r.spans }
 func (r *Registry) MarkROI(now uint64) {
 	r.trace.Reset()
 	r.spans.Reset()
+	if r.tlActive {
+		// Re-anchor an active timeline so its first window starts at the
+		// ROI boundary (the engine hook is re-anchored by the caller).
+		r.BeginTimeline(now, r.tlEvery)
+	}
 	r.marked = true
 	r.markCycle = now
 	r.baseCounters = make([]uint64, len(r.counters))
@@ -253,6 +269,7 @@ func (r *Registry) Snapshot(now uint64) *Snapshot {
 		Cycles:   now - r.markCycle,
 		Window:   r.window,
 		Counters: make(map[string]uint64, len(r.counters)),
+		Timeline: r.timelineSnapshot(),
 	}
 	if r.trace != nil || r.spans != nil {
 		s.Trace = &TraceSummary{

@@ -25,16 +25,20 @@ import (
 )
 
 // TraceDump captures a registry's rings at one instant, in exportable form.
+// Timeline, when present, is additionally rendered as counter tracks.
 type TraceDump struct {
-	Events        []Event `json:"events,omitempty"`
-	EventsDropped uint64  `json:"events_dropped,omitempty"`
-	Spans         []Span  `json:"spans,omitempty"`
-	SpansDropped  uint64  `json:"spans_dropped,omitempty"`
+	Events        []Event           `json:"events,omitempty"`
+	EventsDropped uint64            `json:"events_dropped,omitempty"`
+	Spans         []Span            `json:"spans,omitempty"`
+	SpansDropped  uint64            `json:"spans_dropped,omitempty"`
+	Timeline      *TimelineSnapshot `json:"timeline,omitempty"`
 }
 
-// Dump snapshots the attached rings, or returns nil when tracing is off.
+// Dump snapshots the attached rings and the interval timeline, or returns
+// nil when neither tracing nor the timeline is on.
 func (r *Registry) Dump() *TraceDump {
-	if r.trace == nil && r.spans == nil {
+	tl := r.timelineSnapshot()
+	if r.trace == nil && r.spans == nil && tl == nil {
 		return nil
 	}
 	return &TraceDump{
@@ -42,6 +46,7 @@ func (r *Registry) Dump() *TraceDump {
 		EventsDropped: r.trace.Dropped(),
 		Spans:         r.spans.Spans(),
 		SpansDropped:  r.spans.Dropped(),
+		Timeline:      tl,
 	}
 }
 
@@ -78,11 +83,12 @@ type perfettoFile struct {
 
 // Process IDs within one run's block (runs are offset by pidStride).
 const (
-	pidCores   = 1
-	pidBackend = 2
-	pidHBM     = 3
-	pidDDR     = 4
-	pidStride  = 8
+	pidCores    = 1
+	pidBackend  = 2
+	pidHBM      = 3
+	pidDDR      = 4
+	pidTimeline = 5
+	pidStride   = 8
 )
 
 // Per-core tid layout inside the cores process: tid coreID+1 carries the
@@ -129,11 +135,41 @@ func exportRun(base int, run PerfettoRun) []traceEvent {
 	b.process(pidBackend, name+" backend")
 	b.process(pidHBM, name+" hbm banks")
 	b.process(pidDDR, name+" ddr banks")
+	if run.Dump.Timeline != nil {
+		b.process(pidTimeline, name+" timeline")
+	}
 
 	b.exportEvents(run.Dump.Events)
 	b.exportSpans(run.Dump.Spans)
+	b.exportTimeline(run.Dump.Timeline)
 
 	return append(b.metadata(), b.events...)
+}
+
+// exportTimeline renders the interval timeline as Perfetto counter tracks:
+// one "C" (counter) series per metric, a point at each window boundary, so
+// IPC, DC hit rate, PCSHR high-water, and bandwidth plot as graphs alongside
+// the event and span tracks.
+func (b *runBuilder) exportTimeline(tl *TimelineSnapshot) {
+	if tl == nil || len(tl.Cycles) == 0 {
+		return
+	}
+	names := make([]string, 0, len(tl.Metrics))
+	for name := range tl.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		values := tl.Metrics[name]
+		for i, end := range tl.Cycles {
+			if i >= len(values) {
+				break
+			}
+			b.emit(traceEvent{Name: name, Ph: "C",
+				Ts: tl.StartCycle + end, Pid: pidTimeline,
+				Args: map[string]any{"value": values[i]}})
+		}
+	}
 }
 
 type runBuilder struct {

@@ -17,6 +17,9 @@ type Snapshot struct {
 	// Trace summarizes the event-trace and span rings (present only when
 	// tracing was enabled) so truncated exports are visible, not silent.
 	Trace *TraceSummary `json:"trace,omitempty"`
+	// Timeline is the interval time-series capture (present only when the
+	// timeline was enabled): per-interval columns aligned to the ROI.
+	Timeline *TimelineSnapshot `json:"timeline,omitempty"`
 }
 
 // TraceSummary reports how much of the run's event and span history the

@@ -92,10 +92,11 @@ func (h *eventHeap) pop() event {
 
 // Engine is the simulation clock. The zero value is not usable; call New.
 type Engine struct {
-	now     uint64
-	seq     uint64
-	events  eventHeap
-	tickers []Ticker
+	now      uint64
+	seq      uint64
+	executed uint64
+	events   eventHeap
+	tickers  []Ticker
 
 	// Sampling hook: fn runs every sampleEvery cycles (metrics time
 	// series). Kept separate from tickers because it fires at window
@@ -103,7 +104,19 @@ type Engine struct {
 	sampleEvery uint64
 	sampleFn    func(now uint64)
 	nextSample  uint64
+
+	// Interval hook: a second, coarser windowed hook (default 100k cycles)
+	// used for timeline telemetry and progress reporting. Re-registering it
+	// re-anchors the phase, which is how interval boundaries are aligned to
+	// the region-of-interest start.
+	intervalEvery uint64
+	intervalFn    func(now uint64)
+	nextInterval  uint64
 }
+
+// DefaultInterval is the interval-hook period (in cycles) used when a caller
+// passes 0 to SetInterval.
+const DefaultInterval = 100_000
 
 // New returns an Engine at cycle 0 with no pending work.
 func New() *Engine {
@@ -158,6 +171,36 @@ func (e *Engine) SampleWindow() uint64 {
 	return e.sampleEvery
 }
 
+// SetInterval registers fn to run every `every` cycles (0 selects
+// DefaultInterval), after that cycle's tickers, events, and sampler. The
+// first firing is exactly `every` cycles from now: re-registering at the
+// region-of-interest boundary re-anchors the phase so interval windows align
+// with the measured region. A nil fn disables the hook.
+func (e *Engine) SetInterval(every uint64, fn func(now uint64)) {
+	if fn == nil {
+		e.intervalFn = nil
+		return
+	}
+	if every == 0 {
+		every = DefaultInterval
+	}
+	e.intervalEvery = every
+	e.intervalFn = fn
+	e.nextInterval = e.now + every
+}
+
+// Interval returns the configured interval period (0 when disabled).
+func (e *Engine) Interval() uint64 {
+	if e.intervalFn == nil {
+		return 0
+	}
+	return e.intervalEvery
+}
+
+// Executed returns the number of events run so far — the denominator of the
+// simulator's own events/sec throughput (host self-profiling).
+func (e *Engine) Executed() uint64 { return e.executed }
+
 // Step advances the clock by one cycle: tickers first, then every event due
 // at the new cycle (including events those events schedule for the same
 // cycle), then the sampler if its window elapsed.
@@ -171,12 +214,17 @@ func (e *Engine) Step() {
 		e.sampleFn(e.now)
 		e.nextSample += e.sampleEvery
 	}
+	if e.intervalFn != nil && e.now >= e.nextInterval {
+		e.intervalFn(e.now)
+		e.nextInterval += e.intervalEvery
+	}
 }
 
 // drain runs all events due at or before the current cycle.
 func (e *Engine) drain() {
 	for len(e.events) > 0 && e.events[0].cycle <= e.now {
 		ev := e.events.pop()
+		e.executed++
 		ev.fn()
 	}
 }

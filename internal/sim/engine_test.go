@@ -224,3 +224,75 @@ func BenchmarkEventHeapPushPop(b *testing.B) {
 		e.Step()
 	}
 }
+
+func TestIntervalHook(t *testing.T) {
+	e := New()
+	var fired []uint64
+	e.SetInterval(100, func(now uint64) { fired = append(fired, now) })
+	if e.Interval() != 100 {
+		t.Fatalf("Interval = %d", e.Interval())
+	}
+	e.Run(350)
+	if len(fired) != 3 || fired[0] != 100 || fired[1] != 200 || fired[2] != 300 {
+		t.Fatalf("interval hook fired at %v, want [100 200 300]", fired)
+	}
+	// Disabling stops further firings.
+	e.SetInterval(0, nil)
+	if e.Interval() != 0 {
+		t.Fatal("Interval not zero after disable")
+	}
+	e.Run(200)
+	if len(fired) != 3 {
+		t.Fatalf("interval hook fired after disable: %v", fired)
+	}
+}
+
+func TestIntervalDefault(t *testing.T) {
+	e := New()
+	e.SetInterval(0, func(uint64) {})
+	if e.Interval() != DefaultInterval {
+		t.Fatalf("Interval = %d, want DefaultInterval %d", e.Interval(), DefaultInterval)
+	}
+}
+
+func TestIntervalReanchors(t *testing.T) {
+	// Re-registering mid-run restarts the phase at the current cycle — the
+	// property RunContext relies on to align windows with the ROI boundary.
+	e := New()
+	var fired []uint64
+	fn := func(now uint64) { fired = append(fired, now) }
+	e.SetInterval(100, fn)
+	e.Run(250) // fires at 100, 200; now = 250
+	e.SetInterval(100, fn)
+	e.Run(250) // re-anchored: fires at 350, 450 — not 300
+	if len(fired) != 4 || fired[2] != 350 || fired[3] != 450 {
+		t.Fatalf("interval hook fired at %v, want [100 200 350 450]", fired)
+	}
+}
+
+func TestIntervalAndSamplerCoexist(t *testing.T) {
+	// The sampler fires first within a cycle; both fire on their own period.
+	e := New()
+	var order []string
+	e.SetSampler(50, func(now uint64) { order = append(order, "s") })
+	e.SetInterval(100, func(now uint64) { order = append(order, "i") })
+	e.Run(101)
+	want := []string{"s", "s", "i"} // 50, 100(sampler), 100(interval)
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestExecutedCounts(t *testing.T) {
+	e := New()
+	if e.Executed() != 0 {
+		t.Fatal("fresh engine has executed events")
+	}
+	for i := 0; i < 5; i++ {
+		e.Schedule(uint64(i+1), func() {})
+	}
+	e.Run(10)
+	if e.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", e.Executed())
+	}
+}

@@ -3,6 +3,7 @@ package system
 import (
 	"fmt"
 
+	"nomad/internal/dram"
 	"nomad/internal/mem"
 	"nomad/internal/metrics"
 	"nomad/internal/schemes"
@@ -29,6 +30,9 @@ func (m *Machine) registerMetrics() {
 	}
 	reg := metrics.NewRegistry(window)
 	m.reg = reg
+	// The timeline filter must precede every IntervalFunc registration
+	// (components below register their own timeline columns).
+	reg.SetTimelineFilter(m.cfg.TimelineMetrics)
 	if m.cfg.TraceDepth > 0 {
 		reg.EnableTrace(m.cfg.TraceDepth)
 	}
@@ -133,10 +137,107 @@ func (m *Machine) registerMetrics() {
 		return float64(m.mm.FreeFrames())
 	})
 
+	// Interval timeline columns (Config.Timeline): the Fig. 14-style
+	// transient view. Registration is cheap and sampling is a no-op until
+	// BeginTimeline, so these are wired unconditionally; the filter above
+	// decides what is kept.
+	for i, c := range m.cores {
+		s := c.Stats()
+		intervalRate(reg, fmt.Sprintf("core.%d.ipc", i), func() uint64 { return s.Instructions })
+	}
+	intervalRate(reg, "sim.ipc", func() uint64 {
+		var instr uint64
+		for _, c := range m.cores {
+			instr += c.Stats().Instructions
+		}
+		return instr
+	})
+	ls := m.llc.Stats()
+	intervalRatio(reg, "cache.llc.miss_rate",
+		func() uint64 { return ls.Misses },
+		func() uint64 { return ls.Hits + ls.Misses })
+	reg.IntervalFunc("cache.llc.mshr_occupancy", nil, func(now uint64) float64 {
+		return float64(m.llc.OutstandingMSHRs())
+	})
+	registerDRAMIntervals(reg, "hbm", m.hbm)
+	registerDRAMIntervals(reg, "ddr", m.ddr)
+	reg.IntervalFunc("os.free_frames", nil, func(now uint64) float64 {
+		return float64(m.mm.FreeFrames())
+	})
+
 	m.eng.SetSampler(window, reg.Sample)
+	m.eng.SetInterval(m.interval(), m.intervalTick)
 }
 
-// registerAccess exposes the scheme-agnostic post-LLC access counters.
+// intervalRate registers a timeline column whose value is read()'s delta per
+// cycle over each interval window (per-core IPC, system IPC).
+func intervalRate(reg *metrics.Registry, name string, read func() uint64) {
+	var prev, prevCyc uint64
+	reg.IntervalFunc(name,
+		func(now uint64) { prev, prevCyc = read(), now },
+		func(now uint64) float64 {
+			v, dc := read(), now-prevCyc
+			d := v - prev
+			prev, prevCyc = v, now
+			if dc == 0 {
+				return 0
+			}
+			return float64(d) / float64(dc)
+		})
+}
+
+// intervalRatio registers a timeline column tracking delta(num)/delta(den)
+// over each window (hit/miss/conflict rates). Windows with no den activity
+// read 0.
+func intervalRatio(reg *metrics.Registry, name string, num, den func() uint64) {
+	var pn, pd uint64
+	reg.IntervalFunc(name,
+		func(now uint64) { pn, pd = num(), den() },
+		func(now uint64) float64 {
+			n, d := num(), den()
+			dn, dd := n-pn, d-pd
+			pn, pd = n, d
+			if dd == 0 {
+				return 0
+			}
+			return float64(dn) / float64(dd)
+		})
+}
+
+// intervalGBs registers a timeline column converting read()'s byte delta per
+// window into GB/s at the 3.2 GHz clock.
+func intervalGBs(reg *metrics.Registry, name string, read func() uint64) {
+	var prev, prevCyc uint64
+	reg.IntervalFunc(name,
+		func(now uint64) { prev, prevCyc = read(), now },
+		func(now uint64) float64 {
+			v, dc := read(), now-prevCyc
+			d := v - prev
+			prev, prevCyc = v, now
+			if dc == 0 {
+				return 0
+			}
+			return float64(d) / (float64(dc) / ClockHz) / 1e9
+		})
+}
+
+// registerDRAMIntervals wires one DRAM device's timeline columns: bandwidth
+// by traffic category and the row-buffer conflict rate.
+func registerDRAMIntervals(reg *metrics.Registry, prefix string, d *dram.Device) {
+	s := d.Stats()
+	for k := 0; k < mem.NumKinds; k++ {
+		k := k
+		intervalGBs(reg, fmt.Sprintf("%s.gbs.%s", prefix, mem.Kind(k)),
+			func() uint64 { return s.BytesByKind[k] })
+	}
+	intervalRatio(reg, prefix+".row_conflict_rate",
+		func() uint64 { return s.RowConflicts },
+		func() uint64 { return s.RowHits + s.RowMisses + s.RowConflicts })
+}
+
+// registerAccess exposes the scheme-agnostic post-LLC access counters, plus
+// the dc.hit_rate timeline column (fraction of post-LLC reads served from
+// cache space per interval — the DC hit rate, scheme-agnostic).
 func registerAccess(reg *metrics.Registry, a *schemes.AccessStats) {
 	a.Lat = reg.Histogram("scheme.read_latency")
 	reg.CounterFunc("scheme.reads", func() uint64 { return a.Reads })
@@ -144,4 +245,7 @@ func registerAccess(reg *metrics.Registry, a *schemes.AccessStats) {
 	reg.CounterFunc("scheme.writes", func() uint64 { return a.Writes })
 	reg.CounterFunc("scheme.cache_space_reads", func() uint64 { return a.CacheSpaceReads })
 	reg.CounterFunc("scheme.phys_space_reads", func() uint64 { return a.PhysSpaceReads })
+	intervalRatio(reg, "dc.hit_rate",
+		func() uint64 { return a.CacheSpaceReads },
+		func() uint64 { return a.Reads })
 }

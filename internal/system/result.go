@@ -82,8 +82,14 @@ type Result struct {
 	Metrics *metrics.Snapshot
 
 	// Trace is the raw event/span capture for Perfetto export; nil unless
-	// Config.TraceDepth or Config.SpanDepth enabled tracing.
+	// Config.TraceDepth, Config.SpanDepth, or Config.Timeline enabled it.
 	Trace *metrics.TraceDump
+
+	// Host is the simulator's own performance during this run (wall-clock
+	// cycles/sec, events/sec, heap, GC pauses); nil unless
+	// Config.SelfProfile. Host readings are non-deterministic by nature
+	// and are never part of Metrics.
+	Host *metrics.HostReport `json:",omitempty"`
 }
 
 // CPIStack partitions every ROI core-cycle into named buckets (Fig. 11).

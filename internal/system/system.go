@@ -82,6 +82,23 @@ type Config struct {
 	// SpanSampleEvery is the span sampling period in loads (deterministic,
 	// by per-core load sequence number); 0 selects DefaultSpanSampleEvery.
 	SpanSampleEvery uint64
+
+	// Timeline enables interval time-series telemetry: every Interval
+	// cycles of the measured region, a configurable set of registry
+	// metrics is snapshotted into windowed columns (Snapshot.Timeline).
+	// The first window starts exactly at the ROI boundary.
+	Timeline bool
+	// Interval is the interval-hook period in cycles, used by the timeline
+	// and progress reporting; 0 selects sim.DefaultInterval (100k).
+	Interval uint64
+	// TimelineMetrics restricts collected timeline columns to names
+	// matching these prefixes; empty collects the full default set.
+	TimelineMetrics []string
+	// SelfProfile attaches a host-side profiler to the run: wall-clock
+	// simulated-cycles/sec, events/sec, heap-in-use, and GC pauses, in
+	// Result.Host. Host readings are inherently non-deterministic, so this
+	// is off by default and never part of the metrics snapshot.
+	SelfProfile bool
 }
 
 // DefaultSpanSampleEvery is the span sampling period used when
@@ -127,6 +144,15 @@ type Machine struct {
 	l2s      []*cache.Cache
 	llc      *cache.Cache
 	reg      *metrics.Registry
+
+	// Interval-hook consumers: an optional host-facing progress callback
+	// and the host profiler (both nil unless enabled). phase/phaseBase/
+	// phaseTarget describe the retirement phase for progress reports.
+	progressFn  func(Progress)
+	prof        *metrics.HostProfiler
+	phase       string
+	phaseBase   []uint64
+	phaseTarget uint64
 }
 
 // threadAdapter lets the OS front-end suspend cores without the core
@@ -275,6 +301,69 @@ func (m *Machine) Scheme() schemes.Scheme { return m.scheme }
 // Cores exposes the core models (tests).
 func (m *Machine) Cores() []*cpu.Core { return m.cores }
 
+// Progress is one interval tick's phase report, delivered to the callback
+// registered with SetProgress.
+type Progress struct {
+	// Phase is "warmup" or "roi".
+	Phase string
+	// Cycle is the current simulated cycle.
+	Cycle uint64
+	// Done is the slowest core's retired instructions within the phase;
+	// Target is the phase's per-core retirement target. Done/Target is the
+	// phase's completion fraction (the phase ends when the SLOWEST core
+	// reaches the target).
+	Done, Target uint64
+}
+
+// Fraction returns the phase completion fraction in [0, 1].
+func (p Progress) Fraction() float64 {
+	if p.Target == 0 {
+		return 1
+	}
+	f := float64(p.Done) / float64(p.Target)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// SetProgress registers fn to receive a Progress report at every interval
+// tick (Config.Interval cycles, default sim.DefaultInterval). The callback
+// observes simulation state but must not mutate it; it is intended for
+// host-side progress/ETA printing and does not perturb determinism.
+func (m *Machine) SetProgress(fn func(Progress)) { m.progressFn = fn }
+
+// interval returns the machine's interval-hook period.
+func (m *Machine) interval() uint64 {
+	if m.cfg.Interval > 0 {
+		return m.cfg.Interval
+	}
+	return sim.DefaultInterval
+}
+
+// intervalTick is the engine interval hook: progress first (host-facing),
+// then the timeline sample (no-op until BeginTimeline).
+func (m *Machine) intervalTick(now uint64) {
+	if m.progressFn != nil {
+		var done uint64
+		for i, c := range m.cores {
+			d := c.Stats().Instructions - m.phaseBase[i]
+			if i == 0 || d < done {
+				done = d
+			}
+		}
+		m.progressFn(Progress{Phase: m.phase, Cycle: now, Done: done, Target: m.phaseTarget})
+	}
+	m.reg.SampleInterval(now)
+}
+
+// setPhase records the retirement phase the interval hook reports against.
+func (m *Machine) setPhase(phase string, base []uint64, target uint64) {
+	m.phase = phase
+	m.phaseBase = base
+	m.phaseTarget = target
+}
+
 // runUntilRetired advances until every core has retired at least target
 // additional instructions (relative to the given baselines) or maxCycles
 // pass. It runs in sampling-window-sized chunks, checking ctx between
@@ -298,6 +387,7 @@ func (m *Machine) runUntilRetired(ctx context.Context, base []uint64, target uin
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
+		m.prof.MaybeSample(m.eng.Now(), m.eng.Executed())
 		step := chunk
 		if rem := maxCycles - elapsed; step > rem {
 			step = rem
@@ -324,8 +414,12 @@ func (m *Machine) Run() (*Result, error) {
 // simulated time and returns ctx.Err().
 func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	cfg := m.cfg
+	if cfg.SelfProfile && m.prof == nil {
+		m.prof = metrics.NewHostProfiler(0)
+	}
 	base := make([]uint64, len(m.cores))
 	if cfg.WarmupInstructions > 0 {
+		m.setPhase("warmup", base, cfg.WarmupInstructions)
 		ok, err := m.runUntilRetired(ctx, base, cfg.WarmupInstructions, cfg.MaxCycles)
 		if err != nil {
 			return nil, err
@@ -335,9 +429,17 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	m.reg.MarkROI(m.eng.Now())
+	// Re-anchor the interval hook at the ROI boundary so the first timeline
+	// window starts at ROI cycle 0 and every boundary is an exact multiple
+	// of the interval from MarkROI.
+	m.eng.SetInterval(m.interval(), m.intervalTick)
+	if cfg.Timeline {
+		m.reg.BeginTimeline(m.eng.Now(), m.interval())
+	}
 	for i, c := range m.cores {
 		base[i] = c.Stats().Instructions
 	}
+	m.setPhase("roi", base, cfg.ROIInstructions)
 	ok, err := m.runUntilRetired(ctx, base, cfg.ROIInstructions, cfg.MaxCycles)
 	if err != nil {
 		return nil, err
@@ -345,5 +447,10 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("system: ROI exceeded %d cycles (scheme %s)", cfg.MaxCycles, cfg.Scheme)
 	}
-	return m.result(m.reg.Snapshot(m.eng.Now())), nil
+	m.reg.FinishTimeline(m.eng.Now())
+	res := m.result(m.reg.Snapshot(m.eng.Now()))
+	if m.prof != nil {
+		res.Host = m.prof.Finish(m.eng.Now(), m.eng.Executed())
+	}
+	return res, nil
 }

@@ -1,0 +1,203 @@
+package system
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func timelineConfig(scheme SchemeName) Config {
+	cfg := smallConfig(scheme)
+	cfg.Timeline = true
+	cfg.Interval = 50_000
+	return cfg
+}
+
+func runTimelineTest(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	m, err := New(cfg, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTimelineOffByDefault(t *testing.T) {
+	r := runScheme(t, SchemeNOMAD)
+	if r.Metrics.Timeline != nil {
+		t.Fatalf("timeline captured without Config.Timeline: %+v", r.Metrics.Timeline)
+	}
+	if r.Host != nil {
+		t.Fatalf("host profile attached without Config.SelfProfile: %+v", r.Host)
+	}
+}
+
+func TestTimelineCapture(t *testing.T) {
+	r := runTimelineTest(t, timelineConfig(SchemeNOMAD))
+	tl := r.Metrics.Timeline
+	if tl == nil {
+		t.Fatal("no timeline in snapshot")
+	}
+	if tl.Interval != 50_000 {
+		t.Fatalf("interval = %d, want 50000", tl.Interval)
+	}
+	if tl.Windows() == 0 {
+		t.Fatal("no timeline windows collected")
+	}
+	// The first full window ends exactly one interval after the ROI mark,
+	// and the last window closes at ROI end.
+	if tl.Windows() > 1 && tl.Cycles[0] != tl.Interval {
+		t.Fatalf("first window ends at %d, want %d (ROI-aligned)", tl.Cycles[0], tl.Interval)
+	}
+	if last := tl.Cycles[tl.Windows()-1]; last != r.Cycles {
+		t.Fatalf("last window ends at %d, ROI spans %d", last, r.Cycles)
+	}
+	// The whole-run ROI cycle count must equal engine-now − StartCycle,
+	// i.e. the timeline is anchored exactly at the MarkROI cycle.
+	for _, name := range []string{
+		"sim.ipc", "core.0.ipc", "dc.hit_rate", "cache.llc.miss_rate",
+		"cache.llc.mshr_occupancy", "hbm.row_conflict_rate",
+		"hbm.gbs.fill", "ddr.gbs.fill", "backend.pcshr_highwater", "os.free_frames",
+	} {
+		col := tl.Metric(name)
+		if col == nil {
+			t.Errorf("metric %q missing from timeline (have %d columns)", name, len(tl.Metrics))
+			continue
+		}
+		if len(col) != tl.Windows() {
+			t.Errorf("metric %q has %d values for %d windows", name, len(col), tl.Windows())
+		}
+	}
+	// Per-window IPC should average out near the scalar IPC.
+	var sum float64
+	for _, v := range tl.Metric("sim.ipc") {
+		sum += v
+	}
+	avg := sum / float64(tl.Windows())
+	if avg < r.IPC/2 || avg > r.IPC*2 {
+		t.Fatalf("mean window IPC %.3f far from scalar IPC %.3f", avg, r.IPC)
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	capture := func() []byte {
+		r := runTimelineTest(t, timelineConfig(SchemeNOMAD))
+		data, err := json.Marshal(r.Metrics.Timeline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := capture(), capture()
+	if string(a) != string(b) {
+		t.Fatal("same-seed timeline JSON differs between runs")
+	}
+}
+
+func TestTimelineMetricsFilter(t *testing.T) {
+	cfg := timelineConfig(SchemeNOMAD)
+	cfg.TimelineMetrics = []string{"sim.", "backend."}
+	r := runTimelineTest(t, cfg)
+	tl := r.Metrics.Timeline
+	if tl.Metric("sim.ipc") == nil || tl.Metric("backend.pcshr_highwater") == nil {
+		t.Fatalf("filtered-in metrics missing: %v", tl.Metrics)
+	}
+	for name := range tl.Metrics {
+		if name != "sim.ipc" && name[:8] != "backend." {
+			t.Fatalf("metric %q escaped the filter", name)
+		}
+	}
+}
+
+func TestSelfProfileAttachesHost(t *testing.T) {
+	cfg := smallConfig(SchemeNOMAD)
+	cfg.SelfProfile = true
+	r := runTimelineTest(t, cfg)
+	if r.Host == nil {
+		t.Fatal("no host report despite SelfProfile")
+	}
+	if r.Host.SimCyclesPerSec <= 0 || r.Host.WallSeconds <= 0 {
+		t.Fatalf("degenerate host report: %+v", r.Host)
+	}
+	if r.Host.SimCycles == 0 || r.Host.EventsExecuted == 0 {
+		t.Fatalf("host report missing totals: %+v", r.Host)
+	}
+	// The host report must never leak into the deterministic snapshot.
+	data, err := json.Marshal(r.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonContains(data, "wall_seconds") {
+		t.Fatal("host fields leaked into the metrics snapshot")
+	}
+}
+
+func jsonContains(data []byte, key string) bool {
+	return json.Valid(data) && (len(data) > 0 && (string(data) != "" && containsStr(string(data), `"`+key+`"`)))
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestProgressCallback(t *testing.T) {
+	cfg := timelineConfig(SchemeNOMAD)
+	m, err := New(cfg, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []Progress
+	m.SetProgress(func(p Progress) { reports = append(reports, p) })
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	sawWarmup, sawROI := false, false
+	var lastCycle uint64
+	for _, p := range reports {
+		switch p.Phase {
+		case "warmup":
+			sawWarmup = true
+		case "roi":
+			sawROI = true
+		default:
+			t.Fatalf("unknown phase %q", p.Phase)
+		}
+		if p.Cycle < lastCycle {
+			t.Fatalf("progress cycles not monotonic: %d after %d", p.Cycle, lastCycle)
+		}
+		lastCycle = p.Cycle
+		if f := p.Fraction(); f < 0 || f > 1 {
+			t.Fatalf("fraction %v outside [0,1]", f)
+		}
+	}
+	if !sawWarmup || !sawROI {
+		t.Fatalf("phases seen: warmup=%v roi=%v, want both", sawWarmup, sawROI)
+	}
+	// Progress is an observer: it must not perturb the simulation.
+	plain := runTimelineTest(t, cfg)
+	withProgress, err := func() (*Result, error) {
+		m, err := New(cfg, smallSpec())
+		if err != nil {
+			return nil, err
+		}
+		m.SetProgress(func(Progress) {})
+		return m.Run()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != withProgress.Cycles || plain.Instructions != withProgress.Instructions {
+		t.Fatal("progress callback perturbed the simulation")
+	}
+}

@@ -89,6 +89,26 @@ type Config struct {
 	TraceDepth      int
 	SpanDepth       int
 	SpanSampleEvery uint64
+	// Timeline enables interval time-series telemetry: every
+	// TimelineInterval cycles of the measured region (default 100k), a set
+	// of registry metrics — per-core IPC, DC hit rate, PCSHR occupancy
+	// high-water, HBM/DDR bandwidth by category, row-buffer conflict rate,
+	// MSHR occupancy — is snapshotted into windowed columns, exposed via
+	// Result.Timeline(), Snapshot.Timeline, and (with WriteTrace) Perfetto
+	// counter tracks. The first window starts exactly at ROI cycle 0 and
+	// the capture is deterministic: same-seed runs marshal byte-identical
+	// timelines.
+	Timeline bool
+	// TimelineInterval is the window length in cycles; 0 selects 100_000.
+	TimelineInterval uint64
+	// TimelineMetrics restricts the collected columns to names matching
+	// these prefixes (e.g. "core.", "hbm.gbs."); empty collects all.
+	TimelineMetrics []string
+	// SelfProfile samples the simulator's own host-side performance —
+	// wall-clock simulated-cycles/sec, events/sec, heap-in-use, GC pauses
+	// — into Result.Host(). Host readings are inherently non-deterministic
+	// and are never part of the metrics snapshot.
+	SelfProfile bool
 }
 
 func (c Config) effectiveScheme() Scheme {
@@ -130,6 +150,10 @@ func (c Config) toInternal() system.Config {
 	cfg.TraceDepth = c.TraceDepth
 	cfg.SpanDepth = c.SpanDepth
 	cfg.SpanSampleEvery = c.SpanSampleEvery
+	cfg.Timeline = c.Timeline
+	cfg.Interval = c.TimelineInterval
+	cfg.TimelineMetrics = c.TimelineMetrics
+	cfg.SelfProfile = c.SelfProfile
 	return cfg
 }
 

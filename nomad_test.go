@@ -188,8 +188,8 @@ func TestSchemesList(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
-		t.Fatalf("experiments = %d, want 14", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(exps))
 	}
 	var buf bytes.Buffer
 	if err := RunExperiment("no-such", ExperimentOptions{}, &buf); err == nil {
@@ -201,7 +201,8 @@ func TestExperimentRegistry(t *testing.T) {
 		}
 		id := strings.ToLower(e.ID)
 		if !strings.Contains(id, "table") && !strings.Contains(id, "fig") &&
-			id != "ablations" && id != "replacement" && id != "selective" && id != "cpistack" {
+			id != "ablations" && id != "replacement" && id != "selective" &&
+			id != "cpistack" && id != "timeline" {
 			t.Fatalf("unexpected experiment id %q", e.ID)
 		}
 	}

@@ -93,6 +93,40 @@ type Result struct {
 
 	metrics *Snapshot
 	trace   *metrics.TraceDump
+	host    *HostProfile
+}
+
+// HostProfile reports the simulator's own host-side performance during one
+// run (Config.SelfProfile): wall-clock time, simulated-cycles/sec, engine
+// events/sec, peak heap-in-use, and GC pauses over the profiled span.
+// Host readings are inherently non-deterministic (they derive from the wall
+// clock and the Go runtime) and are never part of the metrics Snapshot.
+type HostProfile struct {
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	EventsExecuted  uint64  `json:"events_executed"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	// PeakHeapInUseBytes is the largest heap-in-use seen at any sample.
+	PeakHeapInUseBytes uint64 `json:"peak_heap_in_use_bytes"`
+	// GCPauses / GCPauseTotalNs cover the profiled span only.
+	GCPauses       uint32 `json:"gc_pauses"`
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	// Samples is the periodic capture (at most one per 100 ms; empty for
+	// very short runs). Keyed by cumulative wall seconds.
+	Samples []HostSample `json:"samples,omitempty"`
+}
+
+// HostSample is one point of the self-profiling capture.
+type HostSample struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	SimCycles      uint64  `json:"sim_cycles"`
+	Events         uint64  `json:"events"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	HeapInUseBytes uint64  `json:"heap_in_use_bytes"`
+	GCPauseTotalNs uint64  `json:"gc_pause_total_ns"`
+	NumGC          uint32  `json:"num_gc"`
 }
 
 // CPIStack is the Fig. 11-style stall attribution, summed over cores. The
@@ -141,6 +175,19 @@ func (r *Result) WriteTrace(w io.Writer) error {
 // stable dotted name (see DESIGN.md for the naming scheme).
 func (r *Result) Metrics() *Snapshot { return r.metrics }
 
+// Timeline returns the interval time-series capture of the measured region,
+// or nil unless the run was configured with Config.Timeline.
+func (r *Result) Timeline() *Timeline {
+	if r.metrics == nil {
+		return nil
+	}
+	return r.metrics.Timeline
+}
+
+// Host returns the simulator's own host-side performance profile, or nil
+// unless the run was configured with Config.SelfProfile.
+func (r *Result) Host() *HostProfile { return r.host }
+
 // Breakdown returns the on-package bandwidth of one traffic category.
 func (r *Result) Breakdown(k BandwidthKind) float64 {
 	if k < 0 || k >= numTraffic {
@@ -187,6 +234,7 @@ func fromInternal(r *system.Result) *Result {
 		DirtyEvictions:     r.DirtyEvictions,
 		metrics:            fromSnapshot(r.Metrics),
 		trace:              r.Trace,
+		host:               fromHostReport(r.Host),
 	}
 	out.CPIStack = CPIStack{
 		Compute:  r.CPIStack.Compute,
@@ -200,6 +248,29 @@ func fromInternal(r *system.Result) *Result {
 	if r.Seconds > 0 {
 		for k := 0; k < mem.NumKinds; k++ {
 			out.HBMBreakdownGBs[k] = float64(r.HBMBytesByKind[k]) / r.Seconds / 1e9
+		}
+	}
+	return out
+}
+
+func fromHostReport(h *metrics.HostReport) *HostProfile {
+	if h == nil {
+		return nil
+	}
+	out := &HostProfile{
+		WallSeconds:        h.WallSeconds,
+		SimCycles:          h.SimCycles,
+		SimCyclesPerSec:    h.SimCyclesPerSec,
+		EventsExecuted:     h.EventsExecuted,
+		EventsPerSec:       h.EventsPerSec,
+		PeakHeapInUseBytes: h.PeakHeapInUseBytes,
+		GCPauses:           h.GCPauses,
+		GCPauseTotalNs:     h.GCPauseTotalNs,
+	}
+	if len(h.Samples) > 0 {
+		out.Samples = make([]HostSample, len(h.Samples))
+		for i, s := range h.Samples {
+			out.Samples[i] = HostSample(s)
 		}
 	}
 	return out

@@ -1,6 +1,10 @@
 package nomad
 
-import "nomad/internal/metrics"
+import (
+	"sort"
+
+	"nomad/internal/metrics"
+)
 
 // Snapshot is the full region-of-interest metrics snapshot of one run: every
 // counter, gauge, histogram and time series the simulator maintains, keyed by
@@ -26,6 +30,9 @@ type Snapshot struct {
 	// Trace summarises the event/span capture; nil unless tracing was
 	// enabled (Config.TraceDepth / Config.SpanDepth).
 	Trace *TraceSummary `json:"trace,omitempty"`
+	// Timeline is the interval time-series capture; nil unless
+	// Config.Timeline was set.
+	Timeline *Timeline `json:"timeline,omitempty"`
 }
 
 // TraceSummary counts what the trace rings captured during the ROI. Dropped
@@ -87,6 +94,54 @@ type Series struct {
 	Values []float64 `json:"values"`
 }
 
+// Timeline is the interval time-series capture of one run (Config.Timeline):
+// one column per metric, one row per interval window of the measured region.
+// Cycles[i] is the END of window i relative to StartCycle (the ROI boundary),
+// so the first full window ends at exactly Interval cycles; a final partial
+// window ends wherever the run did. Like the rest of the snapshot, the
+// capture is deterministic — two same-seed runs marshal byte-identically.
+type Timeline struct {
+	// Interval is the window length in cycles.
+	Interval uint64 `json:"interval"`
+	// StartCycle is the absolute engine cycle the timeline is anchored at
+	// (the MarkROI cycle).
+	StartCycle uint64 `json:"start_cycle"`
+	// Cycles holds window-end cycles relative to StartCycle.
+	Cycles []uint64 `json:"cycles"`
+	// Metrics maps each timeline metric name to its per-window column,
+	// index-aligned with Cycles.
+	Metrics map[string][]float64 `json:"metrics"`
+}
+
+// Windows returns the number of collected interval rows.
+func (t *Timeline) Windows() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Cycles)
+}
+
+// Metric returns one column by name, nil if absent.
+func (t *Timeline) Metric(name string) []float64 {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics[name]
+}
+
+// MetricNames returns the collected column names, sorted.
+func (t *Timeline) MetricNames() []string {
+	if t == nil {
+		return nil
+	}
+	names := make([]string, 0, len(t.Metrics))
+	for name := range t.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func fromSnapshot(s *metrics.Snapshot) *Snapshot {
 	if s == nil {
 		return nil
@@ -118,6 +173,14 @@ func fromSnapshot(s *metrics.Snapshot) *Snapshot {
 		out.Series = make(map[string]Series, len(s.Series))
 		for name, sr := range s.Series {
 			out.Series[name] = Series{Window: sr.Window, Cycles: sr.Cycles, Values: sr.Values}
+		}
+	}
+	if s.Timeline != nil {
+		out.Timeline = &Timeline{
+			Interval:   s.Timeline.Interval,
+			StartCycle: s.Timeline.StartCycle,
+			Cycles:     s.Timeline.Cycles,
+			Metrics:    s.Timeline.Metrics,
 		}
 	}
 	return out
