@@ -9,11 +9,14 @@
 //
 //	bench                          # run, write bench/BENCH_<date>.json, compare
 //	bench -out results -threshold 0.15
+//	bench -compare latest          # diff against newest committed bench/BENCH_*.json
 //	bench -gobench ''              # skip the go-test benchmarks (fastest)
 //	bench -fail-on-regress         # exit 1 when a regression exceeds threshold
 //
 // The comparison is advisory by default (exit 0) so CI can surface deltas
-// without blocking merges; -fail-on-regress turns it into a gate.
+// without blocking merges; -fail-on-regress turns it into a gate. When no
+// baseline exists yet (fresh checkout, empty -out dir) the run still
+// succeeds: it records the new BENCH file and says so instead of failing.
 package main
 
 import (
@@ -83,7 +86,7 @@ func main() {
 	debug.SetGCPercent(600)
 	var (
 		outDir  = flag.String("out", "bench", "directory for BENCH_<date>.json")
-		compare = flag.String("compare", "", "previous BENCH file to diff against (default: latest in -out)")
+		compare = flag.String("compare", "", "previous BENCH file to diff against: a path, a glob, or 'latest' for the newest committed bench/BENCH_*.json (default: latest in -out)")
 		thresh  = flag.Float64("threshold", 0.10, "relative change flagged as a regression")
 		gobench = flag.String("gobench", "BenchmarkSimulatorThroughput", "go test -bench regexp ('' skips)")
 		reps    = flag.Int("reps", 3, "repetitions per throughput measurement (best-of)")
@@ -134,21 +137,25 @@ func main() {
 		fatal("%v", err)
 	}
 	outPath := filepath.Join(*outDir, "BENCH_"+f.Date+".json")
-	prevPath := *compare
-	if prevPath == "" {
-		prevPath = latestBenchFile(*outDir, outPath)
-	}
+	prevPath, note := resolveBaseline(*compare, *outDir, outPath)
 	if err := writeFile(outPath, f); err != nil {
 		fatal("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", outPath)
 
 	if prevPath == "" {
-		fmt.Println("no previous BENCH file; baseline recorded")
+		// A missing baseline is the normal first-run state, not an error:
+		// record the new file and exit clean so CI pipelines work on
+		// fresh branches.
+		fmt.Printf("%s; recorded %s as the new baseline\n", note, outPath)
 		return
 	}
 	prev, err := readFile(prevPath)
 	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("baseline %s does not exist; recorded %s as the new baseline\n", prevPath, outPath)
+			return
+		}
 		fatal("compare %s: %v", prevPath, err)
 	}
 	deltas := Compare(prev, f, *thresh)
@@ -345,6 +352,48 @@ func Compare(prev, cur *File, threshold float64) []Delta {
 	}
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
 	return deltas
+}
+
+// resolveBaseline turns the -compare flag into a baseline path, degrading
+// gracefully instead of failing the pipeline:
+//
+//	""        latest BENCH_*.json in -out (the pre-existing default)
+//	"latest"  latest committed baseline in bench/, falling back to -out
+//	a glob    expanded here, so `-compare 'bench/BENCH_*.json'` works even
+//	          when the shell passed the pattern through unexpanded
+//	a path    used as-is
+//
+// An empty result means "no baseline"; note says why, for the user-facing
+// message.
+func resolveBaseline(compare, outDir, outPath string) (path, note string) {
+	switch {
+	case compare == "":
+		if p := latestBenchFile(outDir, outPath); p != "" {
+			return p, ""
+		}
+		return "", "no previous BENCH file in " + outDir
+	case compare == "latest":
+		if p := latestBenchFile("bench", outPath); p != "" {
+			return p, ""
+		}
+		if outDir != "bench" {
+			if p := latestBenchFile(outDir, outPath); p != "" {
+				return p, ""
+			}
+		}
+		return "", "no committed BENCH baseline found"
+	case strings.ContainsAny(compare, "*?["):
+		matches, _ := filepath.Glob(compare)
+		sort.Strings(matches)
+		for i := len(matches) - 1; i >= 0; i-- {
+			if matches[i] != outPath {
+				return matches[i], ""
+			}
+		}
+		return "", "no BENCH file matches " + compare
+	default:
+		return compare, ""
+	}
 }
 
 // latestBenchFile returns the lexically latest BENCH_*.json in dir other

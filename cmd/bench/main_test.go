@@ -113,6 +113,42 @@ func TestFileRoundTripAndSchemaCheck(t *testing.T) {
 	}
 }
 
+func TestResolveBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-08-01.json", "BENCH_2026-08-02.json"} {
+		if err := writeFile(filepath.Join(dir, name), &File{Schema: Schema}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outPath := filepath.Join(dir, "BENCH_2026-08-02.json")
+	prev := filepath.Join(dir, "BENCH_2026-08-01.json")
+
+	// Default: newest file in -out other than today's own output.
+	if got, _ := resolveBaseline("", dir, outPath); got != prev {
+		t.Errorf("default = %q, want %q", got, prev)
+	}
+	// Empty -out dir: no baseline, but a reason for the message.
+	if got, note := resolveBaseline("", t.TempDir(), outPath); got != "" || note == "" {
+		t.Errorf("empty dir = (%q, %q), want empty path + note", got, note)
+	}
+	// "latest" prefers the committed bench/ dir, falling back to -out.
+	if got, _ := resolveBaseline("latest", dir, outPath); got != prev {
+		t.Errorf("latest fallback = %q, want %q", got, prev)
+	}
+	// A glob the shell did not expand resolves to the newest match.
+	if got, _ := resolveBaseline(filepath.Join(dir, "BENCH_*.json"), dir, outPath); got != prev {
+		t.Errorf("glob = %q, want %q", got, prev)
+	}
+	if got, note := resolveBaseline(filepath.Join(dir, "NOPE_*.json"), dir, outPath); got != "" || note == "" {
+		t.Errorf("unmatched glob = (%q, %q), want empty path + note", got, note)
+	}
+	// An explicit path passes through untouched, even if it does not exist.
+	explicit := filepath.Join(dir, "BENCH_missing.json")
+	if got, _ := resolveBaseline(explicit, dir, outPath); got != explicit {
+		t.Errorf("explicit = %q, want %q", got, explicit)
+	}
+}
+
 func TestLatestBenchFile(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"BENCH_2026-08-01.json", "BENCH_2026-08-03.json", "BENCH_2026-08-02.json"} {

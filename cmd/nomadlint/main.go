@@ -1,0 +1,101 @@
+// Command nomadlint enforces the simulator's determinism contract (see
+// DESIGN.md, "Determinism contract"). It is built entirely on the standard
+// library's go/ast, go/parser, go/token, and go/types — running it needs
+// nothing beyond the Go toolchain already required to build the simulator.
+//
+// Usage:
+//
+//	go run ./cmd/nomadlint ./...
+//	go run ./cmd/nomadlint -write-inventory ./...
+//	go run ./cmd/nomadlint -rules wallclock,maporder ./...
+//
+// The package pattern argument is accepted for familiarity but the analyzer
+// always loads the whole module containing the working directory: the
+// determinism contract is a whole-module property (metric-name uniqueness
+// and forwarder resolution cross package boundaries).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nomad/internal/lint"
+)
+
+func main() {
+	var (
+		writeInventory = flag.Bool("write-inventory", false, "regenerate internal/lint/metric_inventory.txt from the live registrations and exit")
+		rules          = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		listRules      = flag.Bool("list-rules", false, "print the rule names and exit")
+	)
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.RuleNames {
+			fmt.Println(r)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nomadlint:", err)
+		os.Exit(2)
+	}
+	mod, err := lint.LoadDir(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nomadlint: load:", err)
+		os.Exit(2)
+	}
+
+	if *writeInventory {
+		lines := lint.InventoryLines(mod)
+		out := filepath.Join(root, "internal", "lint", "metric_inventory.txt")
+		data := "# Metric registration inventory. Regenerate with:\n" +
+			"#   go run ./cmd/nomadlint -write-inventory ./...\n" +
+			"# Format: namespace<TAB>name-pattern ('*' = run-time component).\n" +
+			strings.Join(lines, "\n") + "\n"
+		if err := os.WriteFile(out, []byte(data), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "nomadlint:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("nomadlint: wrote %d inventory lines to %s\n", len(lines), out)
+		return
+	}
+
+	cfg := lint.DefaultConfig()
+	cfg.MetricInventory = lint.EmbeddedInventory()
+	if *rules != "" {
+		cfg.Rules = strings.Split(*rules, ",")
+	}
+	diags := lint.Run(mod, cfg)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "nomadlint: %d problem(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"nomad/internal/check"
 	"nomad/internal/mem"
 	"nomad/internal/metrics"
 	"nomad/internal/sim"
@@ -248,6 +249,10 @@ func (c *Cache) miss(req mem.Request, block uint64, done mem.Done, retried bool)
 	m := &mshr{block: block, write: req.Write, start: c.eng.Now()}
 	m.waiters = append(m.waiters, waiter{write: req.Write, done: done})
 	c.mshrs[block] = m
+	if check.Enabled {
+		check.Assert(len(c.mshrs) <= c.cfg.MSHRs,
+			"cache %s: %d MSHRs allocated, capacity %d", c.cfg.Name, len(c.mshrs), c.cfg.MSHRs)
+	}
 	c.mshrOcc.Observe(uint64(len(c.mshrs)))
 
 	fill := req
@@ -259,6 +264,12 @@ func (c *Cache) miss(req mem.Request, block uint64, done mem.Done, retried bool)
 }
 
 func (c *Cache) fill(m *mshr) {
+	if check.Enabled {
+		check.Assert(c.mshrs[m.block] == m,
+			"cache %s: fill for block %#x does not match its MSHR", c.cfg.Name, m.block)
+		check.Assert(len(m.waiters) > 0,
+			"cache %s: MSHR for block %#x filled with no waiters", c.cfg.Name, m.block)
+	}
 	c.missLat.Observe(c.eng.Now() - m.start)
 	block := m.block
 	setIdx := c.setIndex(block)
@@ -281,6 +292,10 @@ func (c *Cache) fill(m *mshr) {
 		}
 	}
 	v := &set[victim]
+	if check.Enabled {
+		check.Assert(found || v.valid,
+			"cache %s: LRU victim in set %d is invalid but was not chosen as free", c.cfg.Name, setIdx)
+	}
 	if !found && v.valid && v.dirty {
 		c.stats.Writebacks++
 		// Reconstruct the victim's block address from tag and set.

@@ -1,0 +1,24 @@
+//go:build invariants
+
+// Package check is the simulator's runtime-assertion layer: a uniform,
+// build-tag-gated complement to the nomadlint static pass. Model components
+// state their structural invariants (MSHR occupancy bounds, DRAM bank-state
+// monotonicity, PCSHR lifecycle, osmem free-frame accounting) through
+// Assert, and `go test -tags invariants ./...` exercises them on every
+// simulated workload. Without the tag every call site compiles to nothing:
+// guard each call with `if check.Enabled { ... }` so argument evaluation is
+// eliminated too.
+package check
+
+import "fmt"
+
+// Enabled reports whether the invariants build tag is active. It is a
+// constant so disabled assertion blocks are removed at compile time.
+const Enabled = true
+
+// Assert panics with a formatted message when cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !invariants
+
+package check
+
+// Enabled reports whether the invariants build tag is active. It is a
+// constant so disabled assertion blocks are removed at compile time.
+const Enabled = false
+
+// Assert is a no-op without the invariants build tag.
+func Assert(cond bool, format string, args ...any) {}

@@ -1,0 +1,12 @@
+//go:build !invariants
+
+package check
+
+import "testing"
+
+func TestDisabled(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the invariants build tag")
+	}
+	Assert(false, "must be a no-op without the tag")
+}

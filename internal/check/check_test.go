@@ -1,0 +1,29 @@
+//go:build invariants
+
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabled(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the invariants build tag")
+	}
+}
+
+func TestAssertPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assert(false) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violated: bank 3 readyAt regressed") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	Assert(true, "must not fire")
+	Assert(false, "bank %d readyAt regressed", 3)
+}

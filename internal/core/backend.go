@@ -10,7 +10,9 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
+	"nomad/internal/check"
 	"nomad/internal/dram"
 	"nomad/internal/mem"
 	"nomad/internal/metrics"
@@ -366,6 +368,16 @@ func (b *Backend) drainCommands(g *group) {
 }
 
 func (b *Backend) allocate(r *pcshr, cmd Command) {
+	if check.Enabled {
+		check.Assert(!r.valid, "backend: allocating an occupied PCSHR (cfn %#x)", cmd.CFN)
+		if cmd.Type == CmdFill {
+			_, dup := b.byCFN[cmd.CFN]
+			check.Assert(!dup, "backend: second concurrent fill for cfn %#x", cmd.CFN)
+		} else {
+			_, dup := b.byPFN[cmd.PFN]
+			check.Assert(!dup, "backend: second concurrent writeback for pfn %#x", cmd.PFN)
+		}
+	}
 	*r = pcshr{valid: true, cmd: cmd, group: r.group, epoch: r.epoch + 1}
 	b.trace.Emit(b.eng.Now(), metrics.EvPCSHRAlloc, cmd.CFN, cmd.PFN)
 	if cmd.Type == CmdFill {
@@ -494,6 +506,24 @@ func (b *Backend) writeDone(r *pcshr, epoch uint64) {
 
 func (b *Backend) complete(r *pcshr) {
 	cmd := r.cmd
+	if check.Enabled {
+		// PCSHR retirement: every sub-block was read (or write-absorbed),
+		// buffered, and written out, and no access is still parked.
+		check.Assert(r.writesDone == mem.SubBlocksPerPage,
+			"backend: retiring PCSHR for %s %#x with %d/%d writes done",
+			cmd.Type, cmd.CFN, r.writesDone, uint(mem.SubBlocksPerPage))
+		check.Assert(bits.OnesCount64(r.rvec) == mem.SubBlocksPerPage &&
+			bits.OnesCount64(r.bvec) == mem.SubBlocksPerPage &&
+			bits.OnesCount64(r.wvec) == mem.SubBlocksPerPage,
+			"backend: retiring PCSHR for %s %#x with incomplete vectors r=%#x b=%#x w=%#x",
+			cmd.Type, cmd.CFN, r.rvec, r.bvec, r.wvec)
+		check.Assert(len(r.subs) == 0 && len(r.overflow) == 0,
+			"backend: retiring PCSHR for %s %#x with %d sub-entries and %d overflow waiters parked",
+			cmd.Type, cmd.CFN, len(r.subs), len(r.overflow))
+		// r.inFlight may legitimately be nonzero here: a write-absorbed
+		// sub-block lets the command finish while its superseded read is
+		// still in flight (the epoch check drops it on arrival).
+	}
 	b.trace.Emit(b.eng.Now(), metrics.EvPCSHRRetire, cmd.CFN, cmd.PFN)
 	if cmd.Type == CmdFill {
 		b.trace.Emit(b.eng.Now(), metrics.EvFillDone, cmd.CFN, cmd.PFN)
@@ -512,6 +542,10 @@ func (b *Backend) complete(r *pcshr) {
 		b.start(next)
 	} else {
 		g.freeBufs++
+	}
+	if check.Enabled {
+		check.Assert(g.freeBufs >= 0 && g.freeBufs <= g.bufs,
+			"backend: group free-buffer count %d outside [0,%d]", g.freeBufs, g.bufs)
 	}
 	b.drainCommands(g)
 	if b.onComplete != nil {

@@ -40,6 +40,16 @@ type FillBackend interface {
 	Send(cmd Command, accepted mem.Done)
 }
 
+// transferTracker is the optional back-end view the eviction paths consult:
+// a frame whose fill is still streaming through the data-management engine
+// must not be reclaimed, or the recycled CFN would carry two concurrent
+// fills through the PCSHR CAM (whose byCFN index tolerates one). The NOMAD
+// Backend implements it; blocking (TDC) mode has no in-flight fills to
+// track.
+type transferTracker interface {
+	InTransfer(cfn uint64) bool
+}
+
 // FrontendConfig parameterises the OS routines.
 type FrontendConfig struct {
 	// TagMgmtLatency is the handler's critical-section occupancy: two
@@ -115,6 +125,7 @@ type FrontendStats struct {
 	Evictions      uint64
 	DirtyEvictions uint64
 	TLBSkips       uint64 // victims skipped for TLB-shootdown avoidance
+	FillSkips      uint64 // victims skipped because their fill is in flight
 	DirectReclaims uint64
 	// SelectiveBypasses counts walks that declined to cache a page under
 	// the selective-caching policy.
@@ -166,6 +177,7 @@ type Frontend struct {
 	eng      *sim.Engine
 	mm       *osmem.Manager
 	backend  FillBackend                                // non-blocking mode
+	tracker  transferTracker                            // backend's in-flight-fill view, if any
 	copier   func(srcPFN, dstCFN uint64, done mem.Done) // blocking fills
 	wbCopier func(srcCFN, dstPFN uint64, done mem.Done) // blocking writebacks
 	threads  []Thread
@@ -206,6 +218,7 @@ func NewFrontend(eng *sim.Engine, cfg FrontendConfig, mm *osmem.Manager, threads
 	if f.cfg.Blocking && (copier == nil || wbCopier == nil) {
 		panic("core: blocking front-end requires copier functions")
 	}
+	f.tracker, _ = backend.(transferTracker)
 	return f
 }
 
@@ -227,6 +240,7 @@ func (f *Frontend) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.CounterFunc(prefix+".evictions", func() uint64 { return s.Evictions })
 	reg.CounterFunc(prefix+".dirty_evictions", func() uint64 { return s.DirtyEvictions })
 	reg.CounterFunc(prefix+".tlb_skips", func() uint64 { return s.TLBSkips })
+	reg.CounterFunc(prefix+".fill_skips", func() uint64 { return s.FillSkips })
 	reg.CounterFunc(prefix+".direct_reclaims", func() uint64 { return s.DirectReclaims })
 	reg.CounterFunc(prefix+".selective_bypasses", func() uint64 { return s.SelectiveBypasses })
 	reg.CounterFunc(prefix+".forced_shootdowns", func() uint64 { return s.ForcedShootdowns })
@@ -341,6 +355,20 @@ func (f *Frontend) blockingMiss(coreID int, vpn uint64, pte *osmem.PTE, done fun
 	})
 }
 
+// evictable reports whether cfn may be reclaimed now. Frames whose fill is
+// still in flight are skipped exactly like TLB-resident frames: the tail has
+// already passed them, so the next revolution reconsiders them once the
+// transfer drains. Without this, a tiny cache under churn can release a
+// mid-fill frame, re-allocate the same CFN, and issue a second concurrent
+// fill that collides in the back-end's byCFN CAM.
+func (f *Frontend) evictable(cfn uint64) bool {
+	if f.tracker != nil && f.tracker.InTransfer(cfn) {
+		f.stats.FillSkips++
+		return false
+	}
+	return true
+}
+
 // maybeEvict sets the eviction flag when free frames run low and schedules
 // the background daemon.
 func (f *Frontend) maybeEvict() {
@@ -369,6 +397,9 @@ func (f *Frontend) runDaemon() {
 		// critical section is charged as base + per-frame work.
 		wbs := make([]Command, 0, len(victims))
 		for _, cfn := range victims {
+			if !f.evictable(cfn) {
+				continue
+			}
 			f.stats.Evictions++
 			if f.flusher != nil {
 				f.flusher.FlushFrame(cfn)
@@ -417,6 +448,9 @@ func (f *Frontend) evictBatch() {
 	victims, skips := f.mm.EvictCandidates(f.cfg.EvictionBatch)
 	f.stats.TLBSkips += uint64(skips)
 	for _, cfn := range victims {
+		if !f.evictable(cfn) {
+			continue
+		}
 		f.stats.Evictions++
 		if f.flusher != nil {
 			f.flusher.FlushFrame(cfn)
@@ -448,6 +482,9 @@ func (f *Frontend) directReclaim() {
 		victims, skips := f.mm.EvictCandidates(f.cfg.EvictionBatch)
 		f.stats.TLBSkips += uint64(skips)
 		for _, cfn := range victims {
+			if !f.evictable(cfn) {
+				continue
+			}
 			f.stats.Evictions++
 			if f.flusher != nil {
 				f.flusher.FlushFrame(cfn)
@@ -489,6 +526,9 @@ func (f *Frontend) forcedReclaim() {
 	// Phase 2: regular eviction over the now-unpinned window.
 	victims, _ := f.mm.EvictCandidates(int(batch))
 	for _, cfn := range victims {
+		if !f.evictable(cfn) {
+			continue
+		}
 		f.stats.Evictions++
 		if f.flusher != nil {
 			f.flusher.FlushFrame(cfn)

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"nomad/internal/check"
 	"nomad/internal/mem"
 	"nomad/internal/metrics"
 	"nomad/internal/sim"
@@ -322,6 +323,11 @@ func (d *Device) tickChannel(c *channel, now uint64) {
 		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
 		d.issue(c, r, now)
 	}
+	if check.Enabled {
+		check.Assert(c.inflight >= 0 && c.inflight <= d.cfg.InflightPerChannel,
+			"dram %s ch%d: inflight %d outside [0,%d]",
+			d.cfg.Name, c.idx, c.inflight, d.cfg.InflightPerChannel)
+	}
 }
 
 // pick implements priority > row-hit > age selection (FR-FCFS with
@@ -352,6 +358,7 @@ func (d *Device) score(c *channel, r *request) int {
 // the bus window, and schedules the completion callback.
 func (d *Device) issue(c *channel, r *request, now uint64) {
 	b := &c.banks[r.bank]
+	prevBusFree, prevBankReady := c.busFreeAt, b.readyAt
 	start := now
 	if b.readyAt > start {
 		start = b.readyAt
@@ -397,6 +404,23 @@ func (d *Device) issue(c *channel, r *request, now uint64) {
 	// The bank can accept the next column command to the same row once
 	// this one's data slot is reserved.
 	b.readyAt = rowReady + d.cfg.Timing.TBL
+
+	if check.Enabled {
+		// Bank-state transitions never move time backwards: the open row is
+		// the one just accessed, and the bus/bank reservations are monotone.
+		check.Assert(b.openRow == int64(r.row),
+			"dram %s ch%d bank%d: open row %d after access to row %d",
+			d.cfg.Name, c.idx, r.bank, b.openRow, r.row)
+		check.Assert(c.busFreeAt >= prevBusFree,
+			"dram %s ch%d: bus reservation regressed %d -> %d",
+			d.cfg.Name, c.idx, prevBusFree, c.busFreeAt)
+		check.Assert(b.readyAt >= prevBankReady,
+			"dram %s ch%d bank%d: readyAt regressed %d -> %d",
+			d.cfg.Name, c.idx, r.bank, prevBankReady, b.readyAt)
+		check.Assert(dataEnd >= dataStart && dataStart >= start && start >= now,
+			"dram %s ch%d: burst window [%d,%d] precedes issue at %d",
+			d.cfg.Name, c.idx, dataStart, dataEnd, now)
+	}
 
 	d.stats.BusBusyCycles += d.cfg.Timing.TBL
 	d.stats.BytesByKind[r.kind] += mem.BlockSize

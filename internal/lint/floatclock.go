@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkFloatClock flags float-to-integer conversions in model packages
+// (metrics excepted): cycle and tick arithmetic must stay in integers end to
+// end, because a float round-trip silently truncates and makes results
+// depend on rounding mode and operation order. Reporting code converting
+// integers *to* float is fine; converting a float *back* into an integer
+// (uint64(f), time.Duration(f*...)) is the contract violation.
+func checkFloatClock(mod *Module, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range mod.Sorted() {
+		if !cfg.isModel(mod.Path, p.Path) {
+			continue
+		}
+		if p.Path == mod.Path+"/internal/metrics" || p.Path == "internal/metrics" {
+			// Metrics reduce counters into rates and percentiles; float
+			// math is its whole job.
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := p.Info.Types[call.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				dst, ok := tv.Type.Underlying().(*types.Basic)
+				if !ok || dst.Info()&types.IsInteger == 0 {
+					return true
+				}
+				atv, ok := p.Info.Types[call.Args[0]]
+				if !ok || atv.Type == nil {
+					return true
+				}
+				src, ok := atv.Type.Underlying().(*types.Basic)
+				if !ok || src.Info()&types.IsFloat == 0 {
+					return true
+				}
+				if atv.Value != nil {
+					// Constant conversions (uint64(1e6)) are exact or
+					// rejected by the compiler; they cannot drift at
+					// run time.
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos: mod.Fset.Position(call.Pos()), Rule: "floatclock",
+					Message: "model code converts float to " + tv.Type.String() + "; keep cycle/tick arithmetic in integers (metrics package owns float reduction)",
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}

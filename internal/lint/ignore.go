@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//nomadlint:ignore rule1,rule2 -- reason
+//
+// The directive suppresses matching diagnostics on its own line and, when it
+// is the only thing on its line, on the following line. The reason is
+// mandatory: a suppression without a recorded justification is itself
+// diagnosed (rule "directive").
+const ignorePrefix = "//nomadlint:ignore"
+
+// ignoreEntry is one parsed directive.
+type ignoreEntry struct {
+	rules map[string]bool
+}
+
+// ignoreIndex maps file -> line -> directive for suppression lookup.
+type ignoreIndex struct {
+	byLine    map[string]map[int]ignoreEntry
+	malformed []Diagnostic
+}
+
+// collectIgnores parses every //nomadlint:ignore comment in the module.
+func collectIgnores(mod *Module) *ignoreIndex {
+	idx := &ignoreIndex{byLine: map[string]map[int]ignoreEntry{}}
+	for _, p := range mod.Sorted() {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					idx.add(mod.Fset, c)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *ignoreIndex) add(fset *token.FileSet, c *ast.Comment) {
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimPrefix(c.Text, ignorePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //nomadlint:ignoreXYZ — not a directive, not diagnosed.
+		return
+	}
+	spec, reason, found := strings.Cut(rest, "--")
+	spec = strings.TrimSpace(spec)
+	reason = strings.TrimSpace(reason)
+	if !found || reason == "" {
+		idx.malformed = append(idx.malformed, Diagnostic{
+			Pos: pos, Rule: "directive",
+			Message: "ignore directive needs a justification: //nomadlint:ignore <rules> -- <reason>",
+		})
+		return
+	}
+	if spec == "" {
+		idx.malformed = append(idx.malformed, Diagnostic{
+			Pos: pos, Rule: "directive",
+			Message: "ignore directive names no rules",
+		})
+		return
+	}
+	entry := ignoreEntry{rules: map[string]bool{}}
+	for _, r := range strings.Split(spec, ",") {
+		r = strings.TrimSpace(r)
+		if !knownRule(r) {
+			idx.malformed = append(idx.malformed, Diagnostic{
+				Pos: pos, Rule: "directive",
+				Message: "ignore directive names unknown rule " + strconvQuote(r),
+			})
+			continue
+		}
+		entry.rules[r] = true
+	}
+	if len(entry.rules) == 0 {
+		return
+	}
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		lines = map[int]ignoreEntry{}
+		idx.byLine[pos.Filename] = lines
+	}
+	// Suppress on the directive's own line (trailing comment) and on the
+	// next line (standalone comment above the flagged statement). Merging
+	// keeps multiple directives for one line additive.
+	for _, ln := range []int{pos.Line, pos.Line + 1} {
+		if prev, ok := lines[ln]; ok {
+			for r := range entry.rules {
+				prev.rules[r] = true
+			}
+			continue
+		}
+		merged := ignoreEntry{rules: map[string]bool{}}
+		for r := range entry.rules {
+			merged.rules[r] = true
+		}
+		lines[ln] = merged
+	}
+}
+
+// suppressed reports whether d is covered by a directive.
+func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
+	lines, ok := idx.byLine[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	e, ok := lines[d.Pos.Line]
+	return ok && e.rules[d.Rule]
+}
+
+func knownRule(r string) bool {
+	for _, n := range RuleNames {
+		if n == r {
+			return true
+		}
+	}
+	return false
+}
+
+func strconvQuote(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIgnoreSameLine(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() //nomadlint:ignore wallclock -- host-facing timestamp for logs
+}
+`, snippetConfig(), nil)
+	wantDiags(t, diags)
+}
+
+func TestIgnorePrecedingLine(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "time"
+
+func stamp() time.Time {
+	//nomadlint:ignore wallclock -- host-facing timestamp for logs
+	return time.Now()
+}
+`, snippetConfig(), nil)
+	wantDiags(t, diags)
+}
+
+func TestIgnoreMultipleRules(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "time"
+
+func eta(rem float64) time.Duration {
+	//nomadlint:ignore floatclock, wallclock -- display-only estimate
+	return time.Duration(rem * float64(time.Second))
+}
+`, snippetConfig(), nil)
+	wantDiags(t, diags)
+}
+
+func TestIgnoreWrongRuleDoesNotSuppress(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "time"
+
+func stamp() time.Time {
+	//nomadlint:ignore maporder -- irrelevant rule
+	return time.Now()
+}
+`, snippetConfig(), nil)
+	wantDiags(t, diags, [2]any{"wallclock", 7})
+}
+
+func TestIgnoreMissingReason(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "time"
+
+func stamp() time.Time {
+	//nomadlint:ignore wallclock
+	return time.Now()
+}
+`, snippetConfig(), nil)
+	if len(diags) != 2 {
+		t.Fatalf("want directive + wallclock diagnostics, got %v", diags)
+	}
+	var sawDirective, sawWallclock bool
+	for _, d := range diags {
+		switch d.Rule {
+		case "directive":
+			sawDirective = true
+			if !strings.Contains(d.Message, "justification") {
+				t.Errorf("directive message = %q", d.Message)
+			}
+		case "wallclock":
+			// The malformed directive must not suppress.
+			sawWallclock = true
+		}
+	}
+	if !sawDirective || !sawWallclock {
+		t.Errorf("got %v", rulesOf(diags))
+	}
+}
+
+func TestIgnoreUnknownRule(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+//nomadlint:ignore nosuchrule -- reason here
+func ok() {}
+`, snippetConfig(), nil)
+	wantDiags(t, diags, [2]any{"directive", 3})
+}

@@ -1,0 +1,515 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// regMethods maps metrics.Registry registration methods to the namespace
+// they claim names in. The Registry keeps two independent name spaces: the
+// snapshot space (Counter/Gauge/Histogram/Series) and the interval-timeline
+// space (IntervalFunc) — "sim.ipc" may legally exist in both.
+var regMethods = map[string]string{
+	"Counter":      "metric",
+	"CounterFunc":  "metric",
+	"GaugeFunc":    "metric",
+	"Histogram":    "metric",
+	"SeriesFunc":   "metric",
+	"IntervalFunc": "interval",
+}
+
+// ---- name patterns -------------------------------------------------------
+
+type segKind int
+
+const (
+	segLit  segKind = iota // literal text
+	segStar                // run-time value outside static reach (loop index, enum String())
+	segHole                // a string parameter of the enclosing function
+)
+
+// seg is one piece of a metric-name pattern; pat is their concatenation.
+type seg struct {
+	kind segKind
+	lit  string
+	hole *types.Var
+}
+
+type pat []seg
+
+// norm merges adjacent literals and collapses adjacent stars.
+func (p pat) norm() pat {
+	out := make(pat, 0, len(p))
+	for _, s := range p {
+		if n := len(out); n > 0 {
+			if s.kind == segLit && out[n-1].kind == segLit {
+				out[n-1].lit += s.lit
+				continue
+			}
+			if s.kind == segStar && out[n-1].kind == segStar {
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (p pat) hasHoles() bool {
+	for _, s := range p {
+		if s.kind == segHole {
+			return true
+		}
+	}
+	return false
+}
+
+// render flattens a hole-free pattern; stars become "*".
+func (p pat) render() string {
+	var b strings.Builder
+	for _, s := range p {
+		switch s.kind {
+		case segLit:
+			b.WriteString(s.lit)
+		default:
+			b.WriteString("*")
+		}
+	}
+	return b.String()
+}
+
+// key renders any pattern for set membership; holes keep the parameter name
+// so two templates over different parameters stay distinct.
+func (p pat) key() string {
+	var b strings.Builder
+	for _, s := range p {
+		switch s.kind {
+		case segLit:
+			b.WriteString(s.lit)
+		case segStar:
+			b.WriteString("*")
+		case segHole:
+			b.WriteString("{" + s.hole.Name() + "}")
+		}
+	}
+	return b.String()
+}
+
+// ---- per-function expression context ------------------------------------
+
+// funcCtx is the environment a name expression is evaluated in: the
+// enclosing function's string parameters become holes, and single-assigned
+// local string variables are resolved through their initializer.
+type funcCtx struct {
+	pkg     *Package
+	fn      *types.Func
+	params  map[*types.Var]bool
+	assigns map[*types.Var][]ast.Expr
+	memo    map[*types.Var]pat
+	busy    map[*types.Var]bool
+}
+
+func newFuncCtx(pkg *Package, fd *ast.FuncDecl) *funcCtx {
+	cx := &funcCtx{
+		pkg:     pkg,
+		params:  map[*types.Var]bool{},
+		assigns: map[*types.Var][]ast.Expr{},
+		memo:    map[*types.Var]pat{},
+		busy:    map[*types.Var]bool{},
+	}
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	cx.fn = fn
+	if fn != nil {
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			v := sig.Params().At(i)
+			if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				cx.params[v] = true
+			}
+		}
+	}
+	if fd.Body != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if v, ok := obj.(*types.Var); ok {
+					cx.assigns[v] = append(cx.assigns[v], as.Rhs[i])
+				}
+			}
+			return true
+		})
+	}
+	return cx
+}
+
+// patternOf statically evaluates a metric-name expression to a pattern.
+func (cx *funcCtx) patternOf(e ast.Expr) pat {
+	e = ast.Unparen(e)
+	// Constant strings (literals, consts, folded concatenation) resolve
+	// exactly.
+	if tv, ok := cx.pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return pat{{kind: segLit, lit: constant.StringVal(tv.Value)}}
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return append(cx.patternOf(e.X), cx.patternOf(e.Y)...).norm()
+		}
+	case *ast.Ident:
+		obj := cx.pkg.Info.Uses[e]
+		v, ok := obj.(*types.Var)
+		if !ok {
+			break
+		}
+		if cx.params[v] {
+			return pat{{kind: segHole, hole: v}}
+		}
+		if p, ok := cx.memo[v]; ok {
+			return p
+		}
+		if rhss := cx.assigns[v]; len(rhss) == 1 && !cx.busy[v] {
+			cx.busy[v] = true
+			p := cx.patternOf(rhss[0])
+			cx.busy[v] = false
+			cx.memo[v] = p
+			return p
+		}
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if pkgName, ok := packageOf(cx.pkg.Info, sel); ok && pkgName == "fmt" && sel.Sel.Name == "Sprintf" && len(e.Args) > 0 {
+				f := cx.patternOf(e.Args[0])
+				if !f.hasHoles() && len(f) == 1 && f[0].kind == segLit {
+					return cx.sprintfPat(f[0].lit, e.Args[1:])
+				}
+			}
+		}
+	}
+	return pat{{kind: segStar}}
+}
+
+// sprintfPat substitutes each format verb with the pattern of its argument.
+func (cx *funcCtx) sprintfPat(format string, args []ast.Expr) pat {
+	var out pat
+	lit := func(s string) { out = append(out, seg{kind: segLit, lit: s}) }
+	ai := 0
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			lit(string(c))
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			lit("%")
+			continue
+		}
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.[]", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if ai < len(args) {
+			out = append(out, cx.patternOf(args[ai])...)
+			ai++
+		} else {
+			out = append(out, seg{kind: segStar})
+		}
+	}
+	return out.norm()
+}
+
+// ---- collection ----------------------------------------------------------
+
+// template is a registration whose name still depends on parameters of the
+// function it sits in: the function forwards names downward (RegisterMetrics
+// methods, intervalRate-style helpers).
+type template struct {
+	ns string
+	p  pat
+}
+
+// emission is one fully-resolved registration.
+type emission struct {
+	ns   string
+	name string
+	pos  token.Position
+}
+
+type callRec struct {
+	pkg    *Package
+	call   *ast.CallExpr
+	callee *types.Func
+	cx     *funcCtx
+}
+
+// isRegistryMethod recognizes registration methods on metrics.Registry.
+func isRegistryMethod(fn *types.Func) (ns string, ok bool) {
+	ns, ok = regMethods[fn.Name()]
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	tp := named.Obj().Pkg()
+	return ns, tp != nil && strings.HasSuffix(tp.Path(), "metrics")
+}
+
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// collectMetrics resolves every metric registration in the module to a
+// (namespace, name-pattern) emission, chasing names through forwarding
+// functions to a fixpoint, and reports hygiene diagnostics found on the way
+// (dynamic names, duplicate registrations in one function).
+func collectMetrics(mod *Module) ([]emission, []Diagnostic) {
+	var recs []callRec
+	var diags []Diagnostic
+	for _, p := range mod.Sorted() {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				cx := newFuncCtx(p, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn := calleeOf(p.Info, call); fn != nil {
+						recs = append(recs, callRec{pkg: p, call: call, callee: fn, cx: cx})
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	forw := map[*types.Func][]template{}
+	var emissions []emission
+	// perFunc detects copy-paste duplicates: the same name pattern written
+	// twice in one function body. Mutually-exclusive registrations living
+	// in different functions (scheme switch arms) are deliberately out of
+	// scope.
+	perFunc := map[*types.Func]map[string]token.Position{}
+	processed := map[string]bool{}
+
+	noteDirect := func(cx *funcCtx, ns string, p pat, pos token.Position) {
+		if cx.fn == nil {
+			return
+		}
+		set := perFunc[cx.fn]
+		if set == nil {
+			set = map[string]token.Position{}
+			perFunc[cx.fn] = set
+		}
+		k := ns + "\x00" + p.key()
+		if first, dup := set[k]; dup {
+			diags = append(diags, Diagnostic{
+				Pos: pos, Rule: "metricname",
+				Message: fmt.Sprintf("duplicate %s registration %q in one function (first at %s:%d); the registry will panic", ns, p.key(), first.Filename, first.Line),
+			})
+			return
+		}
+		set[k] = pos
+	}
+
+	substitute := func(rec callRec, t template) pat {
+		sig := rec.callee.Type().(*types.Signature)
+		idx := func(v *types.Var) int {
+			for i := 0; i < sig.Params().Len(); i++ {
+				if sig.Params().At(i) == v {
+					return i
+				}
+			}
+			return -1
+		}
+		var out pat
+		for _, s := range t.p {
+			if s.kind != segHole {
+				out = append(out, s)
+				continue
+			}
+			i := idx(s.hole)
+			if i < 0 || i >= len(rec.call.Args) {
+				out = append(out, seg{kind: segStar})
+				continue
+			}
+			out = append(out, rec.cx.patternOf(rec.call.Args[i])...)
+		}
+		return out.norm()
+	}
+
+	for round := 0; round < 16; round++ {
+		changed := false
+		for ri, rec := range recs {
+			var tmpls []template
+			direct := false
+			if ns, ok := isRegistryMethod(rec.callee); ok {
+				sig := rec.callee.Type().(*types.Signature)
+				if sig.Params().Len() > 0 {
+					tmpls = []template{{ns: ns, p: pat{{kind: segHole, hole: sig.Params().At(0)}}}}
+					direct = true
+				}
+			} else {
+				tmpls = forw[rec.callee]
+			}
+			for ti, t := range tmpls {
+				key := fmt.Sprintf("%d.%d", ri, ti)
+				if processed[key] {
+					continue
+				}
+				processed[key] = true
+				changed = true
+				np := substitute(rec, t)
+				pos := mod.Fset.Position(rec.call.Pos())
+				if direct {
+					noteDirect(rec.cx, t.ns, np, pos)
+				}
+				if np.hasHoles() {
+					if rec.cx.fn != nil {
+						forw[rec.cx.fn] = append(forw[rec.cx.fn], template{ns: t.ns, p: np})
+					}
+					continue
+				}
+				emissions = append(emissions, emission{ns: t.ns, name: np.render(), pos: pos})
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, e := range emissions {
+		diags = append(diags, validateName(e)...)
+	}
+	return emissions, diags
+}
+
+// validateName enforces the subsys.name convention on one emission.
+func validateName(e emission) []Diagnostic {
+	var diags []Diagnostic
+	bad := func(msg string) {
+		diags = append(diags, Diagnostic{Pos: e.pos, Rule: "metricname", Message: msg})
+	}
+	if !strings.ContainsAny(e.name, "abcdefghijklmnopqrstuvwxyz") {
+		bad(fmt.Sprintf("%s name %q has no literal part; metric names must be statically readable", e.ns, e.name))
+		return diags
+	}
+	if !strings.Contains(e.name, ".") {
+		bad(fmt.Sprintf("%s name %q is not namespaced; use the subsys.name convention", e.ns, e.name))
+		return diags
+	}
+	for _, segm := range strings.Split(e.name, ".") {
+		if segm == "" {
+			bad(fmt.Sprintf("%s name %q has an empty dotted segment", e.ns, e.name))
+			return diags
+		}
+		for _, r := range segm {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' && r != '*' {
+				bad(fmt.Sprintf("%s name %q contains %q; names are lowercase [a-z0-9_] segments joined by dots", e.ns, e.name, string(r)))
+				return diags
+			}
+		}
+	}
+	return diags
+}
+
+// InventoryLines loads the module's metric registrations and renders the
+// sorted inventory, one "namespace<TAB>pattern" line per distinct
+// registration ("*" marks run-time components such as core indices).
+func InventoryLines(mod *Module) []string {
+	emissions, _ := collectMetrics(mod)
+	set := map[string]bool{}
+	for _, e := range emissions {
+		set[e.ns+"\t"+e.name] = true
+	}
+	lines := make([]string, 0, len(set))
+	for l := range set {
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// checkMetricNames runs the hygiene checks and, when the config carries a
+// committed inventory, diffs the live registrations against it so metric
+// renames are always a reviewed, explicit act.
+func checkMetricNames(mod *Module, cfg *Config) []Diagnostic {
+	emissions, diags := collectMetrics(mod)
+	if cfg.MetricInventory == nil {
+		return diags
+	}
+	want := map[string]bool{}
+	for _, l := range cfg.MetricInventory {
+		l = strings.TrimSpace(l)
+		if l != "" && !strings.HasPrefix(l, "#") {
+			want[l] = true
+		}
+	}
+	seen := map[string]bool{}
+	for _, e := range emissions {
+		line := e.ns + "\t" + e.name
+		if seen[line] {
+			continue
+		}
+		seen[line] = true
+		if !want[line] {
+			diags = append(diags, Diagnostic{
+				Pos: e.pos, Rule: "metricname",
+				Message: fmt.Sprintf("%s %q is not in the committed inventory; run nomadlint -write-inventory and review the diff", e.ns, e.name),
+			})
+		}
+	}
+	stale := make([]string, 0)
+	for l := range want {
+		if !seen[l] {
+			stale = append(stale, strings.ReplaceAll(l, "\t", " "))
+		}
+	}
+	sort.Strings(stale)
+	for _, l := range stale {
+		diags = append(diags, Diagnostic{
+			Rule:    "metricname",
+			Message: fmt.Sprintf("inventory lists %q which is no longer registered; run nomadlint -write-inventory", l),
+		})
+	}
+	return diags
+}

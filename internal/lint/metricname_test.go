@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricNameResolution(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"m/model": {"m/model/model.go": `package model
+
+import (
+	"fmt"
+
+	"m/internal/metrics"
+)
+
+// helper forwards its name argument into the registry.
+func helper(reg *metrics.Registry, name string) {
+	reg.CounterFunc(name+".hits", func() uint64 { return 0 })
+	reg.IntervalFunc(name+".rate", nil, nil)
+}
+
+func Register(reg *metrics.Registry, cores int) {
+	reg.Counter("sim.events")
+	for i := 0; i < cores; i++ {
+		p := fmt.Sprintf("core.%d", i)
+		reg.CounterFunc(p+".instructions", func() uint64 { return 0 })
+	}
+	helper(reg, "cache.llc")
+	helper(reg, fmt.Sprintf("cache.l1.%d", cores))
+}
+`},
+	}
+	for ip, files := range fakeStd {
+		if _, ok := overlay[ip]; !ok {
+			overlay[ip] = files
+		}
+	}
+	mod, err := LoadOverlay("m", overlay)
+	if err != nil {
+		t.Fatalf("LoadOverlay: %v", err)
+	}
+	lines := InventoryLines(mod)
+	want := []string{
+		"interval\tcache.l1.*.rate",
+		"interval\tcache.llc.rate",
+		"metric\tcache.l1.*.hits",
+		"metric\tcache.llc.hits",
+		"metric\tcore.*.instructions",
+		"metric\tsim.events",
+	}
+	if strings.Join(lines, "\n") != strings.Join(want, "\n") {
+		t.Errorf("inventory =\n%s\nwant:\n%s", strings.Join(lines, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+func TestMetricNameConvention(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "m/internal/metrics"
+
+func dynName() string
+
+func Register(reg *metrics.Registry) {
+	reg.Counter("NoNamespace") // line 8: no dot
+	reg.Counter("sim.BadCase") // line 9: uppercase segment
+	reg.Counter("sim..double") // line 10: empty segment
+	reg.Counter(dynName())     // line 11: fully dynamic
+}
+`, snippetConfig(), nil)
+	wantDiags(t, diags,
+		[2]any{"metricname", 8},
+		[2]any{"metricname", 9},
+		[2]any{"metricname", 10},
+		[2]any{"metricname", 11},
+	)
+}
+
+func TestMetricNameDuplicate(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "m/internal/metrics"
+
+func Register(reg *metrics.Registry) {
+	reg.Counter("sim.events")
+	reg.Counter("sim.events") // line 7: duplicate in one function
+	// Same name in the other namespace is legal: separate claim maps.
+	reg.IntervalFunc("sim.events", nil, nil)
+}
+`, snippetConfig(), nil)
+	wantDiags(t, diags, [2]any{"metricname", 7})
+}
+
+func TestMetricNameInventoryDiff(t *testing.T) {
+	cfg := snippetConfig()
+	cfg.MetricInventory = []string{
+		"metric\tsim.events",
+		"metric\tsim.retired", // stale: no longer registered
+	}
+	diags := lintSnippet(t, `package model
+
+import "m/internal/metrics"
+
+func Register(reg *metrics.Registry) {
+	reg.Counter("sim.events")
+	reg.Counter("sim.cycles") // line 7: not in inventory
+}
+`, cfg, nil)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %v", diags)
+	}
+	var missing, stale bool
+	for _, d := range diags {
+		if d.Pos.Line == 7 && strings.Contains(d.Message, "not in the committed inventory") {
+			missing = true
+		}
+		if strings.Contains(d.Message, `"metric sim.retired" which is no longer registered`) {
+			stale = true
+		}
+	}
+	if !missing || !stale {
+		t.Errorf("want one missing + one stale diagnostic, got %v", diags)
+	}
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// bannedTimeFuncs are the package-level time functions that read the host
+// clock or create host timers. Pure types and constants (time.Duration,
+// time.Millisecond) stay legal: model code may use Duration as a unit.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// bannedOSFuncs read the process environment, an input the determinism
+// contract forbids inside the model.
+var bannedOSFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+// checkWallclock flags wall-clock reads, global randomness, and environment
+// access inside model packages. Simulated time comes only from the engine;
+// randomness only from seeded rand.Rand instances threaded through
+// configuration — math/rand's global functions (and, transitively, its
+// import) are banned outright.
+func checkWallclock(mod *Module, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range mod.Sorted() {
+		if !cfg.isModel(mod.Path, p.Path) {
+			continue
+		}
+		for _, f := range p.Files {
+			pos := mod.Fset.Position(f.Pos())
+			if cfg.fileAllowed(pos.Filename) {
+				continue
+			}
+			for _, imp := range f.Imports {
+				ipath, _ := strconv.Unquote(imp.Path.Value)
+				if ipath == "math/rand" || ipath == "math/rand/v2" {
+					diags = append(diags, Diagnostic{
+						Pos: mod.Fset.Position(imp.Pos()), Rule: "wallclock",
+						Message: "model package imports " + ipath + "; seeded determinism requires rand.Rand instances wired through config, not global randomness",
+					})
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgName, ok := packageOf(p.Info, sel)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgName == "time" && bannedTimeFuncs[sel.Sel.Name]:
+					diags = append(diags, Diagnostic{
+						Pos: mod.Fset.Position(call.Pos()), Rule: "wallclock",
+						Message: "model code reads the host clock via time." + sel.Sel.Name + "; simulated time must come from the engine",
+					})
+				case pkgName == "os" && bannedOSFuncs[sel.Sel.Name]:
+					diags = append(diags, Diagnostic{
+						Pos: mod.Fset.Position(call.Pos()), Rule: "wallclock",
+						Message: "model code reads the environment via os." + sel.Sel.Name + "; configuration must flow through Config structs",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// packageOf resolves sel's qualifier to an imported package path, if the
+// qualifier is a package name (not a value).
+func packageOf(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

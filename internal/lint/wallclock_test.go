@@ -1,0 +1,80 @@
+package lint
+
+import "testing"
+
+func TestWallclockBad(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import (
+	"os"
+	"time"
+)
+
+func tick() time.Duration {
+	start := time.Now()      // line 9: banned
+	time.Sleep(time.Second)  // line 10: banned
+	_ = os.Getenv("SEED")    // line 11: banned
+	return time.Since(start) // line 12: banned
+}
+`, snippetConfig(), nil)
+	wantDiags(t, diags,
+		[2]any{"wallclock", 9},
+		[2]any{"wallclock", 10},
+		[2]any{"wallclock", 11},
+		[2]any{"wallclock", 12},
+	)
+}
+
+func TestWallclockRandImport(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "math/rand"
+
+func roll() int { return rand.Intn(6) }
+`, snippetConfig(), nil)
+	if len(diags) == 0 || diags[0].Rule != "wallclock" {
+		t.Fatalf("want wallclock diagnostic for math/rand import, got %v", diags)
+	}
+}
+
+func TestWallclockGood(t *testing.T) {
+	// Duration as a unit type and method calls on values are fine; only
+	// the host-clock constructors are banned.
+	diags := lintSnippet(t, `package model
+
+import "time"
+
+const window = 500 * time.Millisecond
+
+func span(a, b time.Time) time.Duration { return b.Sub(a) }
+`, snippetConfig(), nil)
+	wantDiags(t, diags)
+}
+
+func TestWallclockNonModelExempt(t *testing.T) {
+	cfg := snippetConfig()
+	diags := lintSnippet(t, `package model
+
+func ok() {}
+`, cfg, map[string]map[string]string{
+		"m/harness": {"m/harness/h.go": `package harness
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`},
+	})
+	wantDiags(t, diags)
+}
+
+func TestWallclockAllowFile(t *testing.T) {
+	cfg := snippetConfig()
+	cfg.AllowFiles = []string{"m/model/model.go"}
+	diags := lintSnippet(t, `package model
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`, cfg, nil)
+	wantDiags(t, diags)
+}

@@ -1,0 +1,64 @@
+//go:build invariants
+
+package osmem
+
+import "testing"
+
+// TestFreeFrameAccounting churns the free queue through allocate / evict /
+// release cycles and verifies the ledger against a full descriptor scan
+// after every phase. It runs only under -tags invariants, alongside the
+// inline check.Assert calls in AllocateFrame/ReleaseFrame.
+func TestFreeFrameAccounting(t *testing.T) {
+	const frames = 64
+	m := New(2, frames)
+	audit := func(stage string) {
+		t.Helper()
+		if err := m.CheckAccounting(); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+	}
+	audit("fresh")
+
+	// Fill the cache completely, touching pages on both cores.
+	vpn := uint64(0)
+	for m.FreeFrames() > 0 {
+		core := int(vpn % 2)
+		pte := m.PTEOf(core, vpn)
+		cfn := m.AllocateFrame(pte.Frame)
+		m.SetCached(pte.Frame, cfn)
+		if vpn%3 == 0 {
+			m.MarkDirty(cfn)
+		}
+		vpn++
+	}
+	audit("full")
+
+	// Several eviction revolutions with interleaved re-allocation.
+	for round := 0; round < 8; round++ {
+		victims, _ := m.EvictCandidates(frames / 4)
+		for _, cfn := range victims {
+			m.ReleaseFrame(cfn)
+		}
+		audit("after evict")
+		for range victims {
+			core := int(vpn % 2)
+			pte := m.PTEOf(core, vpn)
+			cfn := m.AllocateFrame(pte.Frame)
+			m.SetCached(pte.Frame, cfn)
+			vpn++
+		}
+		audit("after refill")
+	}
+
+	// TLB-resident frames are skipped by the victim scan and must stay
+	// allocated.
+	victims, _ := m.EvictCandidates(frames)
+	for i, cfn := range victims {
+		if i%2 == 0 {
+			m.TLBSet(cfn, 0, true)
+			continue
+		}
+		m.ReleaseFrame(cfn)
+	}
+	audit("after partial release")
+}

@@ -11,7 +11,11 @@
 // that drive these structures.
 package osmem
 
-import "fmt"
+import (
+	"fmt"
+
+	"nomad/internal/check"
+)
 
 // PTE is a page-table entry with the NOMAD extension (Fig. 4). Frame holds a
 // PFN when Cached is false and a CFN when Cached is true.
@@ -158,11 +162,17 @@ func (m *Manager) AllocateFrame(pfn uint64) uint64 {
 	cfn := m.head
 	m.head = (m.head + 1) % n
 	cpd := &m.cpds[cfn]
+	if check.Enabled {
+		check.Assert(!cpd.Valid, "osmem: allocating occupied cache frame %d", cfn)
+	}
 	cpd.Valid = true
 	cpd.DirtyInCache = false
 	cpd.PFN = pfn
 	cpd.TLBDir = 0
 	m.numFree--
+	if check.Enabled {
+		check.Assert(m.numFree <= n, "osmem: free count %d exceeds %d frames after allocate", m.numFree, n)
+	}
 	return cfn
 }
 
@@ -216,6 +226,10 @@ func (m *Manager) ReleaseFrame(cfn uint64) (pfn uint64, dirty bool) {
 	cpd.Valid = false
 	cpd.DirtyInCache = false
 	m.numFree++
+	if check.Enabled {
+		check.Assert(m.numFree <= uint64(len(m.cpds)),
+			"osmem: free count %d exceeds %d frames after release of %d", m.numFree, len(m.cpds), cfn)
+	}
 	return pfn, dirty
 }
 
@@ -255,4 +269,30 @@ func (m *Manager) ValidFrames() uint64 {
 		}
 	}
 	return n
+}
+
+// CheckAccounting verifies the free-frame ledger against a full descriptor
+// scan: numFree + valid frames must equal capacity, and every valid frame's
+// PFN must map back through its PPD with the cached bit set. It is O(frames)
+// — invariant-tagged tests call it at run boundaries rather than per
+// operation.
+func (m *Manager) CheckAccounting() error {
+	valid := m.ValidFrames()
+	if m.numFree+valid != uint64(len(m.cpds)) {
+		return fmt.Errorf("osmem: %d free + %d valid != %d frames", m.numFree, valid, len(m.cpds))
+	}
+	for cfn := range m.cpds {
+		cpd := &m.cpds[cfn]
+		if !cpd.Valid {
+			continue
+		}
+		ppd := m.ppds[cpd.PFN]
+		if ppd == nil {
+			return fmt.Errorf("osmem: cache frame %d holds unallocated PFN %d", cfn, cpd.PFN)
+		}
+		if !ppd.Cached {
+			return fmt.Errorf("osmem: cache frame %d holds PFN %d whose PPD is not cached", cfn, cpd.PFN)
+		}
+	}
+	return nil
 }

@@ -35,6 +35,7 @@ func ProgressPrinter(w io.Writer, label string) func(Progress) {
 	return func(p Progress) {
 		mu.Lock()
 		defer mu.Unlock()
+		//nomadlint:ignore wallclock -- progress lines are host-facing UX; wall time never feeds simulation state
 		now := time.Now()
 		if p.Phase != phase {
 			phase = p.Phase
@@ -52,6 +53,7 @@ func ProgressPrinter(w io.Writer, label string) func(Progress) {
 		eta := "?"
 		if elapsed := now.Sub(phaseStart).Seconds(); frac > 0 && elapsed > 0 {
 			rem := elapsed * (1 - frac) / frac
+			//nomadlint:ignore floatclock -- ETA is a wall-clock display estimate, not simulated time
 			eta = (time.Duration(rem*float64(time.Second)) / time.Second * time.Second).String()
 		}
 		fmt.Fprintf(w, "%s%s %5.1f%% cycle=%s eta=%s\n",

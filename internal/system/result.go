@@ -204,6 +204,7 @@ func (m *Machine) result(snap *metrics.Snapshot) *Result {
 	case SchemeTDC, SchemeNOMAD:
 		r.TagMisses = snap.Counter("frontend.tag_misses")
 		r.AvgTagMgmtLatency = diffAvg(snap.Counter("frontend.tag_mgmt_latency_sum"), r.TagMisses)
+		//nomadlint:ignore floatclock -- gauge snapshots are float-typed; the max latency is an exact integer well below 2^53
 		r.MaxTagMgmtLatency = uint64(snap.Gauge("frontend.tag_mgmt_latency_max"))
 		r.Evictions = snap.Counter("frontend.evictions")
 		r.DirtyEvictions = snap.Counter("frontend.dirty_evictions")
