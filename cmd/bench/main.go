@@ -52,7 +52,10 @@ type File struct {
 	Host      string    `json:"host"`
 	E2E       []E2E     `json:"e2e"`
 	Timeline  *Overhead `json:"timeline_overhead,omitempty"`
-	GoBench   []GoBench `json:"gobench,omitempty"`
+	// FastForward measures the idle-cycle fast-forward speedup on one
+	// blocking OS-managed scheme (absent when bench ran with -no-ff).
+	FastForward *FFSpeedup `json:"fast_forward,omitempty"`
+	GoBench     []GoBench  `json:"gobench,omitempty"`
 }
 
 // E2E is one end-to-end throughput measurement (higher cycles/sec is
@@ -64,6 +67,9 @@ type E2E struct {
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
 	EventsPerSec    float64 `json:"events_per_sec"`
 	PeakHeapBytes   uint64  `json:"peak_heap_bytes"`
+	// SkipRatio is the fraction of simulated cycles the engine
+	// fast-forwarded over (skipped_cycles / sim_cycles; 0 with -no-ff).
+	SkipRatio float64 `json:"skip_ratio"`
 }
 
 // Overhead is the timeline-capture slowdown measurement: the same run with
@@ -74,6 +80,16 @@ type Overhead struct {
 	// OverheadPct is the relative slowdown in percent; negative means the
 	// timeline run happened to be faster (noise).
 	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// FFSpeedup is the idle-cycle fast-forward effectiveness measurement: the
+// same run with fast-forward on and off, best-of-N cycles/sec each.
+type FFSpeedup struct {
+	Scheme          string  `json:"scheme"`
+	OnCyclesPerSec  float64 `json:"on_cycles_per_sec"`
+	OffCyclesPerSec float64 `json:"off_cycles_per_sec"`
+	// Speedup is on/off; >1 means fast-forward helped.
+	Speedup float64 `json:"speedup"`
 }
 
 // GoBench is one `go test -bench` result (lower ns/op is better).
@@ -91,6 +107,7 @@ func main() {
 		gobench = flag.String("gobench", "BenchmarkSimulatorThroughput", "go test -bench regexp ('' skips)")
 		reps    = flag.Int("reps", 3, "repetitions per throughput measurement (best-of)")
 		failOn  = flag.Bool("fail-on-regress", false, "exit 1 when any metric regresses past threshold")
+		noFF    = flag.Bool("no-ff", false, "disable idle-cycle fast-forward in every measurement (also skips the speedup section)")
 	)
 	flag.Parse()
 
@@ -103,23 +120,34 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "bench: end-to-end throughput (%d reps per scheme)\n", *reps)
 	for _, scheme := range nomad.Schemes() {
-		e, err := runE2E(scheme, *reps)
+		e, err := runE2E(scheme, *reps, *noFF)
 		if err != nil {
 			fatal("e2e %s: %v", scheme, err)
 		}
 		f.E2E = append(f.E2E, e)
-		fmt.Fprintf(os.Stderr, "  %-14s %8.2f Mcyc/s  %8.2f Mevents/s  heap %5.1f MB\n",
-			e.Name, e.SimCyclesPerSec/1e6, e.EventsPerSec/1e6, float64(e.PeakHeapBytes)/(1024*1024))
+		fmt.Fprintf(os.Stderr, "  %-14s %8.2f Mcyc/s  %8.2f Mevents/s  heap %5.1f MB  skip %4.1f%%\n",
+			e.Name, e.SimCyclesPerSec/1e6, e.EventsPerSec/1e6, float64(e.PeakHeapBytes)/(1024*1024), 100*e.SkipRatio)
 	}
 
 	fmt.Fprintln(os.Stderr, "bench: timeline overhead")
-	ov, err := runOverhead(*reps)
+	ov, err := runOverhead(*reps, *noFF)
 	if err != nil {
 		fatal("timeline overhead: %v", err)
 	}
 	f.Timeline = ov
 	fmt.Fprintf(os.Stderr, "  base %.2f Mcyc/s, timeline %.2f Mcyc/s, overhead %.2f%%\n",
 		ov.BaseCyclesPerSec/1e6, ov.TimelineCyclesPerSec/1e6, ov.OverheadPct)
+
+	if !*noFF {
+		fmt.Fprintln(os.Stderr, "bench: fast-forward speedup")
+		sp, err := runFFSpeedup(*reps)
+		if err != nil {
+			fatal("fast-forward speedup: %v", err)
+		}
+		f.FastForward = sp
+		fmt.Fprintf(os.Stderr, "  %s: ff on %.2f Mcyc/s, ff off %.2f Mcyc/s, speedup %.2fx\n",
+			sp.Scheme, sp.OnCyclesPerSec/1e6, sp.OffCyclesPerSec/1e6, sp.Speedup)
+	}
 
 	if *gobench != "" {
 		fmt.Fprintf(os.Stderr, "bench: go test -bench %s\n", *gobench)
@@ -180,7 +208,7 @@ func fatal(format string, args ...interface{}) {
 // runE2E measures one scheme's simulation throughput on cactusADM with
 // self-profiling attached, keeping the fastest of reps runs (throughput
 // benchmarks take the best sample: it has the least scheduler noise).
-func runE2E(scheme nomad.Scheme, reps int) (E2E, error) {
+func runE2E(scheme nomad.Scheme, reps int, noFF bool) (E2E, error) {
 	w, err := nomad.WorkloadByAbbr("cact")
 	if err != nil {
 		return E2E{}, err
@@ -192,6 +220,7 @@ func runE2E(scheme nomad.Scheme, reps int) (E2E, error) {
 			WarmupInstructions: 1,
 			ROIInstructions:    benchROI,
 			SelfProfile:        true,
+			NoFastForward:      noFF,
 		}, w)
 		if err != nil {
 			return E2E{}, err
@@ -206,15 +235,64 @@ func runE2E(scheme nomad.Scheme, reps int) (E2E, error) {
 			best.SimCyclesPerSec = h.SimCyclesPerSec
 			best.EventsPerSec = h.EventsPerSec
 			best.PeakHeapBytes = h.PeakHeapInUseBytes
+			best.SkipRatio = 0
+			if h.SimCycles > 0 {
+				best.SkipRatio = float64(h.SkippedCycles) / float64(h.SimCycles)
+			}
 		}
 	}
 	return best, nil
 }
 
+// runFFSpeedup measures end-to-end throughput with fast-forward on and off
+// on single-core TDC: the blocking OS-managed scheme has the longest
+// OS-suspension stalls, and a jump requires every core to be quiescent at
+// once, so one core exposes the full span length (multi-core runs intersect
+// the spans and see proportionally less).
+func runFFSpeedup(reps int) (*FFSpeedup, error) {
+	w, err := nomad.WorkloadByAbbr("cact")
+	if err != nil {
+		return nil, err
+	}
+	measure := func(noFF bool) (float64, error) {
+		var best float64
+		for i := 0; i < reps; i++ {
+			res, err := nomad.Run(nomad.Config{
+				Scheme:             nomad.SchemeTDC,
+				Cores:              1,
+				WarmupInstructions: 1,
+				ROIInstructions:    benchROI,
+				SelfProfile:        true,
+				NoFastForward:      noFF,
+			}, w)
+			if err != nil {
+				return 0, err
+			}
+			if h := res.Host(); h != nil && h.SimCyclesPerSec > best {
+				best = h.SimCyclesPerSec
+			}
+		}
+		return best, nil
+	}
+	on, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	off, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	sp := &FFSpeedup{Scheme: string(nomad.SchemeTDC), OnCyclesPerSec: on, OffCyclesPerSec: off}
+	if off > 0 {
+		sp.Speedup = on / off
+	}
+	return sp, nil
+}
+
 // runOverhead measures the timeline capture's slowdown: NOMAD on cactusADM
 // with and without Config.Timeline at the default interval, best-of-reps
 // cycles/sec each.
-func runOverhead(reps int) (*Overhead, error) {
+func runOverhead(reps int, noFF bool) (*Overhead, error) {
 	w, err := nomad.WorkloadByAbbr("cact")
 	if err != nil {
 		return nil, err
@@ -228,6 +306,7 @@ func runOverhead(reps int) (*Overhead, error) {
 				ROIInstructions:    benchROI,
 				Timeline:           timeline,
 				SelfProfile:        true,
+				NoFastForward:      noFF,
 			}, w)
 			if err != nil {
 				return 0, err
@@ -340,6 +419,9 @@ func Compare(prev, cur *File, threshold float64) []Delta {
 		// The overhead itself is a lower-is-better percentage; compare the
 		// absolute timeline-on throughput, which is what users experience.
 		higherBetter("timeline cycles/s", prev.Timeline.TimelineCyclesPerSec, cur.Timeline.TimelineCyclesPerSec)
+	}
+	if prev.FastForward != nil && cur.FastForward != nil && prev.FastForward.Scheme == cur.FastForward.Scheme {
+		higherBetter("ff speedup "+cur.FastForward.Scheme, prev.FastForward.Speedup, cur.FastForward.Speedup)
 	}
 	prevGB := map[string]GoBench{}
 	for _, b := range prev.GoBench {

@@ -71,6 +71,7 @@ func main() {
 		interval = flag.Uint64("interval", 0, "timeline/progress window in cycles (0 = 100000)")
 		profile  = flag.Bool("profile", false, "self-profile each simulation (host cycles/sec, heap, GC)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
+		noFF     = flag.Bool("no-ff", false, "disable idle-cycle fast-forward (results are byte-identical either way)")
 		progress = flag.Bool("progress", false, "print per-run progress and ETA to stderr at each interval tick")
 	)
 	flag.Parse()
@@ -92,6 +93,7 @@ func main() {
 	opts := harness.Options{
 		Fast: *fast, Parallelism: *parallel, Verbose: *verbose, Log: os.Stderr,
 		Timeline: *timeline, Interval: *interval, SelfProfile: *profile,
+		NoFastForward: *noFF,
 	}
 	if *traceOut != "" {
 		opts.TraceDepth = traceEventDepth

@@ -46,6 +46,7 @@ func main() {
 		tlFilter = flag.String("timeline-metrics", "", "comma-separated name prefixes restricting timeline columns (e.g. core.,hbm.gbs.)")
 		profile  = flag.Bool("profile", false, "self-profile the simulator (wall-clock cycles/sec, heap, GC pauses)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
+		noFF     = flag.Bool("no-ff", false, "disable idle-cycle fast-forward (results are byte-identical either way)")
 		progress = flag.Bool("progress", false, "print simulated-cycle progress and ETA to stderr at each interval tick")
 		list     = flag.Bool("list", false, "list workloads and exit")
 	)
@@ -97,6 +98,7 @@ func main() {
 		cfg.TimelineMetrics = strings.Split(*tlFilter, ",")
 	}
 	cfg.SelfProfile = *profile
+	cfg.FastForward = !*noFF
 
 	if *pprofSrv != "" {
 		go func() {

@@ -40,6 +40,9 @@ type ExperimentOptions struct {
 	// SelfProfile attaches host-side simulator profiling to every run
 	// (Result.Host).
 	SelfProfile bool
+	// NoFastForward disables idle-cycle fast-forward in every run (see
+	// Config.NoFastForward); results are byte-identical either way.
+	NoFastForward bool
 }
 
 // Experiments lists every reproducible table and figure.
@@ -108,6 +111,7 @@ func RunExperimentResult(ctx context.Context, id string, opts ExperimentOptions)
 		Interval:        opts.TimelineInterval,
 		TimelineMetrics: opts.TimelineMetrics,
 		SelfProfile:     opts.SelfProfile,
+		NoFastForward:   opts.NoFastForward,
 	})
 	if err != nil {
 		return nil, err

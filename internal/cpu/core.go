@@ -25,6 +25,7 @@
 package cpu
 
 import (
+	"nomad/internal/check"
 	"nomad/internal/mem"
 	"nomad/internal/metrics"
 	"nomad/internal/workload"
@@ -48,8 +49,10 @@ type Config struct {
 	MaxLoads int // outstanding load cap (LSQ/MSHR reach)
 }
 
-// DefaultConfig matches the evaluation setup (4-wide, 224-entry ROB, 16
-// outstanding loads).
+// DefaultConfig matches the evaluation setup: 4-wide, 224-entry ROB, and 6
+// outstanding loads — the effective MLP cap documented as deviation #4 in
+// DESIGN.md (synthetic dependency-free streams otherwise exhibit
+// unrealistically deep memory-level parallelism).
 func DefaultConfig() Config {
 	return Config{Width: 4, ROBSize: 224, MaxLoads: 6}
 }
@@ -321,4 +324,70 @@ func (c *Core) Tick(now uint64) {
 			c.stats.FrontStallCycles++
 		}
 	}
+}
+
+// noWork mirrors sim.NoWork ("only an event can wake me"); the cpu package
+// satisfies sim.FastForwarder structurally, without importing sim.
+const noWork = ^uint64(0)
+
+// NextWork implements the fast-forward half of the sim.FastForwarder
+// protocol: it reports the earliest cycle after now at which Tick could do
+// anything beyond charging one stall cycle, assuming no event (load
+// completion, OS unblock) runs in between. The engine separately bounds
+// jumps by the event heap, so "the head load's data returns" and "an OS
+// routine unblocks the thread" never need to be predicted here.
+func (c *Core) NextWork(now uint64) uint64 {
+	if c.blockCount > 0 {
+		// Indefinitely OS-suspended: only an Unblock event resumes it.
+		return noWork
+	}
+	if c.blockedUntil > now+1 {
+		// Fixed-duration suspension: pure OSBlocked cycles until then.
+		return c.blockedUntil
+	}
+	if c.blockedUntil > now {
+		return now + 1 // resumes next cycle
+	}
+	// Runnable. The next Tick is a pure head-of-ROB stall iff it can
+	// neither retire (head is an incomplete load at retireSeq) nor insert
+	// (ROB full, or a load stuck behind the outstanding-load cap with no
+	// gap instructions or fetch available). Every condition below can only
+	// change through an event, so a quiescent verdict holds until one runs.
+	if c.insertSeq == c.retireSeq {
+		return now + 1 // empty window: Tick would fetch and insert
+	}
+	if c.loadCount == 0 {
+		return now + 1 // non-load instructions retire
+	}
+	if h := &c.loads[c.loadHead]; h.done || h.pos != c.retireSeq {
+		return now + 1 // head retires, or instructions before it do
+	}
+	if c.insertSeq-c.retireSeq >= uint64(c.cfg.ROBSize) {
+		return noWork // retire blocked and ROB full: nothing can move
+	}
+	if c.gapLeft > 0 || c.memOp == nil || c.memOp.Write || c.inFlight < c.cfg.MaxLoads {
+		return now + 1 // Tick would insert or fetch
+	}
+	return noWork // retire blocked, insert stuck on the load cap
+}
+
+// SkipCycles bulk-accounts n skipped cycles (now+1 .. now+n). The engine
+// guarantees the span is uniform — it never extends past blockedUntil, a
+// scheduled event, or any cycle NextWork flagged — so the whole span
+// charges the bucket the first skipped cycle would have: OSBlockedCycles
+// while suspended, otherwise MemStallCycles under the head load's current
+// stall cause (unchanged across the span, since only events move it).
+func (c *Core) SkipCycles(now, n uint64) {
+	c.stats.Cycles += n
+	if c.blockCount > 0 || now+1 < c.blockedUntil {
+		c.stats.OSBlockedCycles += n
+		return
+	}
+	if check.Enabled {
+		check.Assert(c.loadCount > 0 && !c.loads[c.loadHead].done &&
+			c.loads[c.loadHead].pos == c.retireSeq,
+			"cpu %d: skipping %d cycles at %d without a head-of-ROB stall", c.ID, n, now)
+	}
+	c.stats.MemStallCycles += n
+	c.stats.MemStallByCause[c.loads[c.loadHead].probe.Cause] += n
 }

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"reflect"
 	"testing"
 
 	"nomad/internal/mem"
@@ -264,5 +265,56 @@ func TestInstructionAccounting(t *testing.T) {
 	}
 	if s.Cycles != 20000 {
 		t.Fatalf("cycles = %d", s.Cycles)
+	}
+}
+
+// TestDefaultConfigValues pins the evaluation setup so the doc comment and
+// the code cannot drift again: 6 outstanding loads is deliberate (DESIGN.md
+// deviation #4), not the 16 an earlier comment claimed.
+func TestDefaultConfigValues(t *testing.T) {
+	got := DefaultConfig()
+	want := Config{Width: 4, ROBSize: 224, MaxLoads: 6}
+	if got != want {
+		t.Fatalf("DefaultConfig() = %+v, want %+v", got, want)
+	}
+}
+
+// TestFastForwardStatsEquivalence runs identical core workloads with
+// fast-forward on and off and requires every statistic — including the
+// per-cause stall breakdown that SkipCycles must bulk-charge — to match
+// exactly.
+func TestFastForwardStatsEquivalence(t *testing.T) {
+	cases := []struct {
+		name      string
+		gap       int
+		writeFrac float64
+		delay     uint64
+		cause     mem.StallCause
+		block     bool
+	}{
+		{name: "memory-bound", gap: 0, delay: 100, cause: mem.StallDRAMQueue},
+		{name: "compute-bound", gap: 1000, delay: 1},
+		{name: "mixed", gap: 10, writeFrac: 0.3, delay: 50, cause: mem.StallPCSHR},
+		{name: "blocked", gap: 10, delay: 10, block: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(ff bool) *Stats {
+				eng := sim.New()
+				eng.SetFastForward(ff)
+				c, p := newCore(eng, Config{Width: 4, ROBSize: 64, MaxLoads: 4}, stream(tc.gap, tc.writeFrac), tc.delay)
+				p.cause = tc.cause
+				if tc.block {
+					eng.Run(100)
+					c.BlockFor(eng.Now(), 5000)
+				}
+				eng.Run(10000)
+				return c.Stats()
+			}
+			on, off := run(true), run(false)
+			if !reflect.DeepEqual(on, off) {
+				t.Fatalf("stats diverge:\n  ff on:  %+v\n  ff off: %+v", on, off)
+			}
+		})
 	}
 }

@@ -316,6 +316,29 @@ func (d *Device) Tick(now uint64) {
 	}
 }
 
+// NextWork implements sim.FastForwarder: a channel scheduler has work at
+// now+1 only when it holds queued requests and a free inflight slot —
+// everything else it is waiting for (a completion freeing an inflight slot,
+// new traffic from an event or a core tick) arrives through the event heap
+// or another ticker, both of which bound the engine's jumps. Bus and bank
+// occupancy are carried as absolute cycle stamps (busFreeAt/readyAt), not
+// per-cycle state, so an idle-until channel needs no per-cycle ticks.
+func (d *Device) NextWork(now uint64) uint64 {
+	for i := range d.chans {
+		c := &d.chans[i]
+		if len(c.queue) > 0 && c.inflight < d.cfg.InflightPerChannel {
+			return now + 1
+		}
+	}
+	return sim.NoWork
+}
+
+// SkipCycles implements sim.FastForwarder. Nothing accrues per idle cycle:
+// BusBusyCycles and every other counter are charged in bulk at issue time
+// (issue reserves the whole TBL bus window at once), so skipped ticks are
+// accounting no-ops by construction.
+func (d *Device) SkipCycles(now, n uint64) {}
+
 func (d *Device) tickChannel(c *channel, now uint64) {
 	for c.inflight < d.cfg.InflightPerChannel && len(c.queue) > 0 {
 		idx := d.pick(c)

@@ -48,6 +48,9 @@ type Options struct {
 	// SelfProfile attaches host-side simulator profiling to every run
 	// (Result.Host). Host readings are non-deterministic.
 	SelfProfile bool
+	// NoFastForward disables idle-cycle fast-forward in every run (see
+	// system.Config.FastForward); results are byte-identical either way.
+	NoFastForward bool
 	// Progress, when non-nil, is called once per run with its key and must
 	// return a Machine.SetProgress callback (or nil). Callbacks fire on
 	// worker goroutines; system.ProgressPrinter returns a suitable one.
@@ -75,6 +78,7 @@ func (o Options) BaseConfig() system.Config {
 	cfg.Interval = o.Interval
 	cfg.TimelineMetrics = o.TimelineMetrics
 	cfg.SelfProfile = o.SelfProfile
+	cfg.FastForward = !o.NoFastForward
 	return cfg
 }
 

@@ -44,6 +44,16 @@ type HostReport struct {
 	// GCPauses / GCPauseTotalNs cover the profiled span only.
 	GCPauses       uint32 `json:"gc_pauses"`
 	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	// SkippedCycles / Jumps report the engine's idle-cycle fast-forward
+	// effectiveness (the sim.skipped_cycles and sim.jumps readings): cycles
+	// bulk-advanced without stepping, and the jumps that advanced them.
+	// They live here rather than in the metrics snapshot because they
+	// differ between fast-forward on and off, while snapshots are required
+	// to stay byte-identical across the two. SkippedCycles/SimCycles is the
+	// run's skip ratio. The caller fills them in (the profiler itself never
+	// touches engine internals).
+	SkippedCycles uint64 `json:"skipped_cycles"`
+	Jumps         uint64 `json:"jumps"`
 	// Samples is the periodic capture (empty for very short runs).
 	Samples []HostSample `json:"samples,omitempty"`
 }

@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ffTicker is a test FastForwarder: quiescent except at the cycles in busy,
+// recording every Tick and every SkipCycles span.
+type ffTicker struct {
+	busy  map[uint64]bool // cycles at which the ticker claims work
+	ticks []uint64
+	skips [][2]uint64 // (first, last) skipped cycle per SkipCycles call
+}
+
+func (f *ffTicker) Tick(now uint64) { f.ticks = append(f.ticks, now) }
+
+func (f *ffTicker) NextWork(now uint64) uint64 {
+	for c := now + 1; c <= now+1_000_000; c++ {
+		if f.busy[c] {
+			return c
+		}
+	}
+	return NoWork
+}
+
+func (f *ffTicker) SkipCycles(now, n uint64) {
+	f.skips = append(f.skips, [2]uint64{now + 1, now + n})
+}
+
+// TestCycleZeroEventObservesNowZero pins the cycle-0 fix: an event scheduled
+// with At(0, fn) before the first Step must observe Now() == 0, not 1.
+func TestCycleZeroEventObservesNowZero(t *testing.T) {
+	e := New()
+	observed := uint64(999)
+	e.At(0, func() { observed = e.Now() })
+	e.Run(1)
+	if observed != 0 {
+		t.Fatalf("At(0) event observed Now() == %d, want 0", observed)
+	}
+	if e.Now() != 1 {
+		t.Fatalf("Run(1) left clock at %d, want 1", e.Now())
+	}
+}
+
+// TestCycleZeroEventBeforeTickers checks the cycle-0 event also runs before
+// cycle 1's tickers, preserving event/ticker ordering across the fix.
+func TestCycleZeroEventBeforeTickers(t *testing.T) {
+	e := New()
+	var order []string
+	e.At(0, func() { order = append(order, "event0") })
+	e.AddTicker(TickerFunc(func(now uint64) { order = append(order, "tick") }))
+	e.Schedule(1, func() { order = append(order, "event1") })
+	e.Run(1)
+	want := []string{"event0", "tick", "event1"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestHookCatchUp pins the phase-drift fix: if the clock somehow moves more
+// than one window past a hook boundary in a single Step, the hook fires once
+// per elapsed boundary with the boundary cycle as now, instead of firing
+// once and drifting.
+func TestHookCatchUp(t *testing.T) {
+	e := New()
+	var samples, intervals []uint64
+	e.SetSampler(10, func(now uint64) { samples = append(samples, now) })
+	e.SetInterval(25, func(now uint64) { intervals = append(intervals, now) })
+	e.now = 49 // white-box: simulate a multi-window advance
+	e.Step()   // now = 50
+	wantS := []uint64{10, 20, 30, 40, 50}
+	if len(samples) != len(wantS) {
+		t.Fatalf("sampler fired at %v, want %v", samples, wantS)
+	}
+	for i := range wantS {
+		if samples[i] != wantS[i] {
+			t.Fatalf("sampler fired at %v, want %v", samples, wantS)
+		}
+	}
+	if len(intervals) != 2 || intervals[0] != 25 || intervals[1] != 50 {
+		t.Fatalf("interval hook fired at %v, want [25 50]", intervals)
+	}
+	// Phase is intact: the next boundaries are 60 and 75.
+	e.Run(25) // now = 75
+	if samples[len(samples)-1] != 70 || intervals[len(intervals)-1] != 75 {
+		t.Fatalf("post-catch-up boundaries: sampler %v, interval %v", samples, intervals)
+	}
+}
+
+// TestHookReRegisterInsideCallback re-registers each hook from within its own
+// callback; the new registration must anchor at the firing boundary and the
+// old phase must not fire again.
+func TestHookReRegisterInsideCallback(t *testing.T) {
+	e := New()
+	var fired []uint64
+	var second func(now uint64)
+	second = func(now uint64) { fired = append(fired, now) }
+	e.SetSampler(10, func(now uint64) {
+		fired = append(fired, now)
+		e.SetSampler(7, second)
+	})
+	e.Run(20)
+	// First registration fires at 10 and swaps in the 7-cycle sampler,
+	// which then fires at 17 (10+7).
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 17 {
+		t.Fatalf("sampler fired at %v, want [10 17]", fired)
+	}
+
+	e2 := New()
+	var ifired []uint64
+	e2.SetInterval(10, func(now uint64) {
+		ifired = append(ifired, now)
+		e2.SetInterval(0, nil) // disable from inside the callback
+	})
+	e2.Run(40)
+	if len(ifired) != 1 || ifired[0] != 10 {
+		t.Fatalf("interval hook fired at %v, want [10]", ifired)
+	}
+}
+
+// TestFastForwardSkipsIdleSpan: a fully quiescent engine with one pending
+// event jumps straight to the event cycle.
+func TestFastForwardSkipsIdleSpan(t *testing.T) {
+	e := New()
+	f := &ffTicker{busy: map[uint64]bool{}}
+	e.AddTicker(f)
+	fired := uint64(0)
+	e.Schedule(100, func() { fired = e.Now() })
+	e.Run(200)
+	if fired != 100 {
+		t.Fatalf("event fired at %d, want 100", fired)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("clock at %d, want 200", e.Now())
+	}
+	// Two jumps: to the event at 100, then to the run limit at 200. Each
+	// jump lands with one real Step; every other cycle is skipped.
+	if e.Jumps() != 2 {
+		t.Fatalf("Jumps = %d, want 2", e.Jumps())
+	}
+	if e.SkippedCycles() != 198 {
+		t.Fatalf("SkippedCycles = %d, want 198", e.SkippedCycles())
+	}
+	if len(f.ticks) != 2 || f.ticks[0] != 100 || f.ticks[1] != 200 {
+		t.Fatalf("ticks = %v, want [100 200]", f.ticks)
+	}
+	if len(f.skips) != 2 || f.skips[0] != [2]uint64{1, 99} || f.skips[1] != [2]uint64{101, 199} {
+		t.Fatalf("skips = %v, want [[1 99] [101 199]]", f.skips)
+	}
+}
+
+// TestFastForwardHonorsNextWork: the jump stops at the earliest ticker
+// wake-up even with no events pending.
+func TestFastForwardHonorsNextWork(t *testing.T) {
+	e := New()
+	f := &ffTicker{busy: map[uint64]bool{40: true}}
+	e.AddTicker(f)
+	e.Run(50)
+	// The ticker must be stepped (not skipped) at its busy cycle.
+	for _, s := range f.skips {
+		if s[0] <= 40 && 40 <= s[1] {
+			t.Fatalf("busy cycle 40 was skipped: %v", f.skips)
+		}
+	}
+	seen := false
+	for _, c := range f.ticks {
+		if c == 40 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("busy cycle 40 never ticked: %v", f.ticks)
+	}
+}
+
+// TestFastForwardHonorsHookBoundaries: jumps clamp to sampler and interval
+// boundaries so hooks fire at exactly the same cycles as a stepped run.
+func TestFastForwardHonorsHookBoundaries(t *testing.T) {
+	e := New()
+	e.AddTicker(&ffTicker{busy: map[uint64]bool{}})
+	var samples, intervals []uint64
+	e.SetSampler(10, func(now uint64) { samples = append(samples, now) })
+	e.SetInterval(25, func(now uint64) { intervals = append(intervals, now) })
+	e.Run(50)
+	wantS := []uint64{10, 20, 30, 40, 50}
+	if len(samples) != len(wantS) {
+		t.Fatalf("sampler fired at %v, want %v", samples, wantS)
+	}
+	for i := range wantS {
+		if samples[i] != wantS[i] {
+			t.Fatalf("sampler fired at %v, want %v", samples, wantS)
+		}
+	}
+	if len(intervals) != 2 || intervals[0] != 25 || intervals[1] != 50 {
+		t.Fatalf("interval hook fired at %v, want [25 50]", intervals)
+	}
+}
+
+// TestFastForwardInertWithPlainTicker: one non-FastForwarder ticker disables
+// jumping entirely.
+func TestFastForwardInertWithPlainTicker(t *testing.T) {
+	e := New()
+	e.AddTicker(&ffTicker{busy: map[uint64]bool{}})
+	n := 0
+	e.AddTicker(TickerFunc(func(uint64) { n++ }))
+	e.Run(100)
+	if e.Jumps() != 0 || e.SkippedCycles() != 0 {
+		t.Fatalf("jumped with a plain ticker registered: jumps=%d skipped=%d", e.Jumps(), e.SkippedCycles())
+	}
+	if n != 100 {
+		t.Fatalf("plain ticker ran %d times, want 100", n)
+	}
+}
+
+// TestFastForwardDisabledBySwitch: SetFastForward(false) forces per-cycle
+// stepping even for all-FastForwarder engines.
+func TestFastForwardDisabledBySwitch(t *testing.T) {
+	e := New()
+	f := &ffTicker{busy: map[uint64]bool{}}
+	e.AddTicker(f)
+	e.SetFastForward(false)
+	if e.FastForwardEnabled() {
+		t.Fatal("FastForwardEnabled after SetFastForward(false)")
+	}
+	e.Run(100)
+	if e.Jumps() != 0 || e.SkippedCycles() != 0 {
+		t.Fatalf("jumped while disabled: jumps=%d skipped=%d", e.Jumps(), e.SkippedCycles())
+	}
+	if len(f.ticks) != 100 {
+		t.Fatalf("ticker ran %d times, want 100", len(f.ticks))
+	}
+}
+
+// TestFastForwardEquivalence runs randomized schedules through a
+// fast-forwarding engine and a stepped engine and requires identical event
+// firing cycles, hook firings, tick counts at busy cycles, and final state.
+func TestFastForwardEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		busy := map[uint64]bool{}
+		for i := 0; i < 10; i++ {
+			busy[uint64(1+rng.Intn(400))] = true
+		}
+		type trace struct {
+			events  []uint64
+			samples []uint64
+			ticks   []uint64
+		}
+		run := func(ff bool) trace {
+			var tr trace
+			e := New()
+			e.SetFastForward(ff)
+			f := &ffTicker{busy: busy}
+			e.AddTicker(f)
+			e.SetSampler(37, func(now uint64) { tr.samples = append(tr.samples, now) })
+			r := rand.New(rand.NewSource(seed + 1))
+			for i := 0; i < 30; i++ {
+				e.Schedule(uint64(1+r.Intn(400)), func() { tr.events = append(tr.events, e.Now()) })
+			}
+			e.Run(450)
+			// Keep only the ticks a stepped and jumped run must share:
+			// busy cycles (quiescent-span ticks are exactly what jumps
+			// elide, by contract equivalent to SkipCycles).
+			for _, c := range f.ticks {
+				if busy[c] {
+					tr.ticks = append(tr.ticks, c)
+				}
+			}
+			return tr
+		}
+		a, b := run(true), run(false)
+		eq := func(x, y []uint64) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if !eq(a.events, b.events) {
+			t.Fatalf("seed %d: event cycles differ: ff=%v stepped=%v", seed, a.events, b.events)
+		}
+		if !eq(a.samples, b.samples) {
+			t.Fatalf("seed %d: sample cycles differ: ff=%v stepped=%v", seed, a.samples, b.samples)
+		}
+		if !eq(a.ticks, b.ticks) {
+			t.Fatalf("seed %d: busy-cycle ticks differ: ff=%v stepped=%v", seed, a.ticks, b.ticks)
+		}
+	}
+}
+
+// TestEventFIFOAcrossHeapChurn grows and shrinks the heap by scheduling new
+// events from inside running events under a seeded random schedule, and
+// requires global (cycle, insertion) order to hold throughout.
+func TestEventFIFOAcrossHeapChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := New()
+	type fired struct {
+		cycle uint64
+		id    int
+	}
+	var log []fired
+	nextID := 0
+	var add func(depth int) // schedules one event that may schedule more
+	add = func(depth int) {
+		id := nextID
+		nextID++
+		e.Schedule(uint64(1+rng.Intn(30)), func() {
+			log = append(log, fired{e.Now(), id})
+			if depth > 0 && rng.Intn(2) == 0 {
+				for i := 0; i < 1+rng.Intn(3); i++ {
+					add(depth - 1)
+				}
+			}
+		})
+	}
+	for i := 0; i < 100; i++ {
+		add(3)
+	}
+	e.Run(200)
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending after drain window", e.Pending())
+	}
+	if len(log) != nextID {
+		t.Fatalf("fired %d of %d events", len(log), nextID)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].cycle < log[i-1].cycle {
+			t.Fatalf("event %d fired at %d after event %d at %d", log[i].id, log[i].cycle, log[i-1].id, log[i-1].cycle)
+		}
+	}
+	// Same-cycle events fire in insertion order. IDs are assigned in
+	// scheduling order, so within one cycle they must increase.
+	byCycle := map[uint64][]int{}
+	for _, f := range log {
+		byCycle[f.cycle] = append(byCycle[f.cycle], f.id)
+	}
+	for c, ids := range byCycle {
+		for i := 1; i < len(ids); i++ {
+			if ids[i] < ids[i-1] {
+				t.Fatalf("cycle %d: same-cycle events out of FIFO order: %v", c, ids)
+			}
+		}
+	}
+}
+
+// TestRunUntilBoundaries pins RunUntil's edge semantics: pred is evaluated
+// before any cycle runs, maxCycles bounds the advance exactly, and a pred
+// that becomes true on the final permitted cycle is still observed.
+func TestRunUntilBoundaries(t *testing.T) {
+	// pred already true: no cycles run.
+	e := New()
+	if !e.RunUntil(func() bool { return true }, 100) {
+		t.Fatal("RunUntil(true) = false")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved to %d for an already-true pred", e.Now())
+	}
+
+	// maxCycles == 0: no advance, pred decides the result.
+	if e.RunUntil(func() bool { return false }, 0) {
+		t.Fatal("RunUntil(false, 0) = true")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved to %d with maxCycles 0", e.Now())
+	}
+
+	// pred becomes true on exactly the last permitted cycle.
+	e2 := New()
+	done := false
+	e2.Schedule(10, func() { done = true })
+	if !e2.RunUntil(func() bool { return done }, 10) {
+		t.Fatal("RunUntil missed a pred satisfied on the final cycle")
+	}
+	if e2.Now() != 10 {
+		t.Fatalf("stopped at %d, want 10", e2.Now())
+	}
+
+	// Exhaustion: the clock advances exactly maxCycles.
+	e3 := New()
+	if e3.RunUntil(func() bool { return false }, 25) {
+		t.Fatal("RunUntil reported success for an impossible pred")
+	}
+	if e3.Now() != 25 {
+		t.Fatalf("clock at %d after exhaustion, want 25", e3.Now())
+	}
+
+	// Fast-forward variant: pred driven by an event, engine fully
+	// quiescent, same stopping cycle as the stepped run above.
+	e4 := New()
+	e4.AddTicker(&ffTicker{busy: map[uint64]bool{}})
+	done4 := false
+	e4.Schedule(10, func() { done4 = true })
+	if !e4.RunUntil(func() bool { return done4 }, 10) {
+		t.Fatal("fast-forward RunUntil missed the pred")
+	}
+	if e4.Now() != 10 {
+		t.Fatalf("fast-forward stopped at %d, want 10", e4.Now())
+	}
+	if e4.Jumps() == 0 {
+		t.Fatal("fast-forward RunUntil never jumped across the idle span")
+	}
+}

@@ -99,6 +99,13 @@ type Config struct {
 	// Result.Host. Host readings are inherently non-deterministic, so this
 	// is off by default and never part of the metrics snapshot.
 	SelfProfile bool
+	// FastForward enables idle-cycle fast-forward in the engine: when every
+	// core is OS-suspended or head-of-ROB stalled and every DRAM channel is
+	// drained, the clock jumps straight to the next event or hook boundary
+	// with bulk stall accounting. The run's observable output (Snapshot,
+	// Timeline, traces) is byte-identical either way; DefaultConfig enables
+	// it, and the CLIs expose -no-ff to switch it off.
+	FastForward bool
 }
 
 // DefaultSpanSampleEvery is the span sampling period used when
@@ -126,6 +133,7 @@ func DefaultConfig() Config {
 		ROIInstructions:    1_200_000,
 		MaxCycles:          400_000_000,
 		Seed:               1,
+		FastForward:        true,
 	}
 }
 
@@ -226,6 +234,7 @@ func New(cfg Config, spec workload.Spec) (*Machine, error) {
 		return nil, fmt.Errorf("system: core count must be positive, got %d", cfg.Cores)
 	}
 	m := &Machine{cfg: cfg, workload: spec.Abbr, eng: sim.New()}
+	m.eng.SetFastForward(cfg.FastForward)
 	m.hbm = dram.New(m.eng, cfg.HBM)
 	m.ddr = dram.New(m.eng, cfg.DDR)
 	m.mm = osmem.New(cfg.Cores, cfg.CacheFrames)
@@ -451,6 +460,11 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	res := m.result(m.reg.Snapshot(m.eng.Now()))
 	if m.prof != nil {
 		res.Host = m.prof.Finish(m.eng.Now(), m.eng.Executed())
+		// Fast-forward effectiveness (sim.skipped_cycles / sim.jumps) rides
+		// with the host report rather than the metrics snapshot: it differs
+		// between fast-forward on and off while snapshots must not.
+		res.Host.SkippedCycles = m.eng.SkippedCycles()
+		res.Host.Jumps = m.eng.Jumps()
 	}
 	return res, nil
 }

@@ -109,6 +109,12 @@ type Config struct {
 	// — into Result.Host(). Host readings are inherently non-deterministic
 	// and are never part of the metrics snapshot.
 	SelfProfile bool
+	// NoFastForward disables the engine's idle-cycle fast-forward (on by
+	// default), forcing every cycle to be stepped individually. Results
+	// are byte-identical either way; the switch exists for debugging and
+	// for measuring the speedup. With SelfProfile set,
+	// Host().SkippedCycles reports how much a fast-forwarded run skipped.
+	NoFastForward bool
 }
 
 func (c Config) effectiveScheme() Scheme {
@@ -154,6 +160,7 @@ func (c Config) toInternal() system.Config {
 	cfg.Interval = c.TimelineInterval
 	cfg.TimelineMetrics = c.TimelineMetrics
 	cfg.SelfProfile = c.SelfProfile
+	cfg.FastForward = !c.NoFastForward
 	return cfg
 }
 

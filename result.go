@@ -112,6 +112,15 @@ type HostProfile struct {
 	// GCPauses / GCPauseTotalNs cover the profiled span only.
 	GCPauses       uint32 `json:"gc_pauses"`
 	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	// SkippedCycles / Jumps report the engine's idle-cycle fast-forward
+	// effectiveness (sim.skipped_cycles / sim.jumps): cycles bulk-advanced
+	// across quiescent spans, and the jumps that advanced them.
+	// SkippedCycles/SimCycles is the run's skip ratio; both read 0 with
+	// Config.NoFastForward set. They are host-report fields (not snapshot
+	// metrics) because they differ between fast-forward on and off while
+	// snapshots stay byte-identical.
+	SkippedCycles uint64 `json:"skipped_cycles"`
+	Jumps         uint64 `json:"jumps"`
 	// Samples is the periodic capture (at most one per 100 ms; empty for
 	// very short runs). Keyed by cumulative wall seconds.
 	Samples []HostSample `json:"samples,omitempty"`
@@ -266,6 +275,8 @@ func fromHostReport(h *metrics.HostReport) *HostProfile {
 		PeakHeapInUseBytes: h.PeakHeapInUseBytes,
 		GCPauses:           h.GCPauses,
 		GCPauseTotalNs:     h.GCPauseTotalNs,
+		SkippedCycles:      h.SkippedCycles,
+		Jumps:              h.Jumps,
 	}
 	if len(h.Samples) > 0 {
 		out.Samples = make([]HostSample, len(h.Samples))
