@@ -33,8 +33,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime/debug"
@@ -43,16 +41,10 @@ import (
 	"strings"
 	"time"
 
+	"nomad/internal/cliflags"
 	"nomad/internal/harness"
 	"nomad/internal/metrics"
 	"nomad/internal/system"
-)
-
-// Trace capture depths used by -trace: large enough that a -fast ROI fits
-// without wrapping, small enough to keep memory per run modest.
-const (
-	traceEventDepth = 1 << 16
-	traceSpanDepth  = 1 << 15
 )
 
 func main() {
@@ -65,15 +57,9 @@ func main() {
 		fast     = flag.Bool("fast", false, "short warmup/ROI (quick, less precise)")
 		parallel = flag.Int("p", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print each run's summary line (to stderr)")
-		format   = flag.String("format", "text", "output format: text, json, or csv")
-		traceOut = flag.String("trace", "", "write a Perfetto trace of every run to this file")
-		timeline = flag.Bool("timeline", false, "capture interval time-series telemetry in every run")
-		interval = flag.Uint64("interval", 0, "timeline/progress window in cycles (0 = 100000)")
-		profile  = flag.Bool("profile", false, "self-profile each simulation (host cycles/sec, heap, GC)")
-		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
-		noFF     = flag.Bool("no-ff", false, "disable idle-cycle fast-forward (results are byte-identical either way)")
 		progress = flag.Bool("progress", false, "print per-run progress and ETA to stderr at each interval tick")
 	)
+	cf := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -82,8 +68,8 @@ func main() {
 		}
 		return
 	}
-	if *format != "text" && *format != "json" && *format != "csv" {
-		fmt.Fprintf(os.Stderr, "unknown format %q; use text, json, or csv\n", *format)
+	if err := cf.Check("text", "json", "csv"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -92,25 +78,14 @@ func main() {
 
 	opts := harness.Options{
 		Fast: *fast, Parallelism: *parallel, Verbose: *verbose, Log: os.Stderr,
-		Timeline: *timeline, Interval: *interval, SelfProfile: *profile,
-		NoFastForward: *noFF,
 	}
-	if *traceOut != "" {
-		opts.TraceDepth = traceEventDepth
-		opts.SpanDepth = traceSpanDepth
-	}
+	cf.ApplyOptions(&opts)
 	if *progress {
 		opts.Progress = func(key string) func(system.Progress) {
 			return system.ProgressPrinter(os.Stderr, key)
 		}
 	}
-	if *pprofSrv != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
-			}
-		}()
-	}
+	cf.StartPprof(os.Stderr)
 	var exps []harness.Experiment
 	if *runIDs == "all" {
 		exps = harness.All()
@@ -132,12 +107,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 		// Flush whatever trace data completed runs produced before exiting,
 		// so an interrupted batch still yields an inspectable trace.
-		flushTrace(*traceOut, traceRuns)
+		flushTrace(cf.Trace, traceRuns)
 		os.Exit(1)
 	}
 	for _, e := range exps {
 		start := time.Now()
-		if *format == "text" {
+		if cf.Format == "text" {
 			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
 		}
 		rep, err := e.Run(ctx, opts)
@@ -149,7 +124,7 @@ func main() {
 		}
 		traceRuns = append(traceRuns, collectTraces(e.ID, rep)...)
 		elapsed := time.Since(start).Round(time.Millisecond)
-		switch *format {
+		switch cf.Format {
 		case "text":
 			if err := rep.WriteText(os.Stdout); err != nil {
 				fail("%s: %v", e.ID, err)
@@ -169,7 +144,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, elapsed)
 		}
 	}
-	if err := flushTrace(*traceOut, traceRuns); err != nil {
+	if err := flushTrace(cf.Trace, traceRuns); err != nil {
 		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 		os.Exit(1)
 	}

@@ -13,12 +13,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"runtime/debug"
-	"strings"
 
+	"nomad/internal/cliflags"
 	"nomad/internal/mem"
 	"nomad/internal/metrics"
 	"nomad/internal/schemes"
@@ -39,18 +37,16 @@ func main() {
 		roi      = flag.Uint64("roi", 0, "override ROI instructions per core")
 		seed     = flag.Uint64("seed", 0, "override workload seed")
 		touch    = flag.Uint64("touch", 0, "selective caching: cache on Nth walk (OS-managed schemes)")
-		asJSON   = flag.Bool("json", false, "emit the result as JSON")
-		traceOut = flag.String("trace", "", "write a Perfetto trace to this file (open at ui.perfetto.dev)")
-		timeline = flag.Bool("timeline", false, "capture interval time-series telemetry (per-window IPC, hit rates, bandwidth)")
-		interval = flag.Uint64("interval", 0, "timeline/progress window in cycles (0 = 100000)")
-		tlFilter = flag.String("timeline-metrics", "", "comma-separated name prefixes restricting timeline columns (e.g. core.,hbm.gbs.)")
-		profile  = flag.Bool("profile", false, "self-profile the simulator (wall-clock cycles/sec, heap, GC pauses)")
-		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
-		noFF     = flag.Bool("no-ff", false, "disable idle-cycle fast-forward (results are byte-identical either way)")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON (deprecated alias for -format json)")
 		progress = flag.Bool("progress", false, "print simulated-cycle progress and ETA to stderr at each interval tick")
 		list     = flag.Bool("list", false, "list workloads and exit")
 	)
+	cf := cliflags.Register(flag.CommandLine)
 	flag.Parse()
+	if err := cf.Check("text", "json"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Printf("%-6s %-12s %-7s %-9s %s\n", "abbr", "name", "class", "suite", "footprint")
@@ -88,25 +84,8 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Frontend.CacheTouchThreshold = *touch
-	if *traceOut != "" {
-		cfg.TraceDepth = 1 << 16
-		cfg.SpanDepth = 1 << 15
-	}
-	cfg.Timeline = *timeline
-	cfg.Interval = *interval
-	if *tlFilter != "" {
-		cfg.TimelineMetrics = strings.Split(*tlFilter, ",")
-	}
-	cfg.SelfProfile = *profile
-	cfg.FastForward = !*noFF
-
-	if *pprofSrv != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
-			}
-		}()
-	}
+	cf.ApplySystem(&cfg)
+	cf.StartPprof(os.Stderr)
 
 	m, err := system.New(cfg, sp)
 	if err != nil {
@@ -133,8 +112,8 @@ func main() {
 		}
 	}
 
-	if *traceOut != "" && r.Trace != nil {
-		f, err := os.Create(*traceOut)
+	if cf.Trace != "" && r.Trace != nil {
+		f, err := os.Create(cf.Trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -148,10 +127,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote Perfetto trace to %s — open at https://ui.perfetto.dev\n", *traceOut)
+		fmt.Fprintf(os.Stderr, "wrote Perfetto trace to %s — open at https://ui.perfetto.dev\n", cf.Trace)
 	}
 
-	if *asJSON {
+	if *asJSON || cf.Format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r); err != nil {

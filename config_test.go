@@ -1,0 +1,112 @@
+package nomad
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestDefaultConfigMatchesZero pins the DefaultConfig contract: it is the
+// zero Config with every default spelled out, so both must resolve to the
+// same internal configuration.
+func TestDefaultConfigMatchesZero(t *testing.T) {
+	def := DefaultConfig().toInternal()
+	zero := Config{}.toInternal()
+	if !reflect.DeepEqual(def, zero) {
+		t.Fatalf("DefaultConfig resolves differently from the zero Config:\n default: %+v\n zero:    %+v", def, zero)
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig does not validate: %v", err)
+	}
+}
+
+// TestDeprecatedTelemetryAliases pins the compatibility contract of the
+// Telemetry regrouping: a Config written against the old flat fields must
+// resolve to exactly the same internal configuration as the grouped form.
+func TestDeprecatedTelemetryAliases(t *testing.T) {
+	flat := Config{
+		TraceDepth:       512,
+		SpanDepth:        128,
+		SpanSampleEvery:  32,
+		Timeline:         true,
+		TimelineInterval: 50_000,
+		TimelineMetrics:  []string{"core.", "hbm.gbs."},
+		SelfProfile:      true,
+	}
+	grouped := Config{Telemetry: Telemetry{
+		TraceDepth:       512,
+		SpanDepth:        128,
+		SpanSampleEvery:  32,
+		Timeline:         true,
+		TimelineInterval: 50_000,
+		TimelineMetrics:  []string{"core.", "hbm.gbs."},
+		SelfProfile:      true,
+	}}
+	if err := flat.Validate(); err != nil {
+		t.Fatalf("flat legacy config does not validate: %v", err)
+	}
+	if !reflect.DeepEqual(flat.toInternal(), grouped.toInternal()) {
+		t.Fatalf("flat aliases resolve differently from Telemetry group:\n flat:    %+v\n grouped: %+v", flat.toInternal(), grouped.toInternal())
+	}
+	// Agreeing values set both ways are fine; conflicting ones are a
+	// Validate error rather than a silent preference.
+	both := flat
+	both.Telemetry.TraceDepth = 512
+	if err := both.Validate(); err != nil {
+		t.Fatalf("agreeing alias + group rejected: %v", err)
+	}
+	both.Telemetry.TraceDepth = 1024
+	err := both.Validate()
+	if err == nil {
+		t.Fatal("conflicting TraceDepth alias accepted")
+	}
+	if err.Op != "validate" {
+		t.Fatalf("Op = %q, want validate", err.Op)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error, "" for valid
+	}{
+		{"zero", Config{}, ""},
+		{"engine wheel", Config{Engine: EngineWheel}, ""},
+		{"engine heap", Config{Engine: EngineHeap}, ""},
+		{"bad scheme", Config{Scheme: "Nope"}, "unknown scheme"},
+		{"bad engine", Config{Engine: "splay"}, "unknown engine"},
+		{"negative cores", Config{Cores: -1}, "negative core count"},
+		{"negative trace depth", Config{TraceDepth: -4}, "negative trace depth"},
+		{"buffers beyond pcshrs", Config{PCSHRs: 4, CopyBuffers: 8}, "exceed"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		switch {
+		case tc.want == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.want != "" && err == nil:
+			t.Errorf("%s: error missing", tc.name)
+		case tc.want != "" && !strings.Contains(err.Error(), tc.want):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRunRejectsInvalidConfig pins that Run validates before building the
+// machine and reports the typed validate error.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	w, err := WorkloadByAbbr("tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := Run(Config{Engine: "splay"}, w)
+	var e *Error
+	if !errors.As(rerr, &e) {
+		t.Fatalf("err = %T, want *nomad.Error", rerr)
+	}
+	if e.Op != "validate" || e.Workload != "tc" {
+		t.Fatalf("error identity wrong: %+v", e)
+	}
+}

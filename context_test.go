@@ -73,7 +73,7 @@ func TestErrorTypeOnBadConfig(t *testing.T) {
 	if !errors.As(err, &e) {
 		t.Fatalf("err = %T, want *nomad.Error", err)
 	}
-	if e.Op != "configure" || e.Workload != "tc" {
+	if e.Op != "validate" || e.Workload != "tc" {
 		t.Fatalf("error identity wrong: %+v", e)
 	}
 	if e.Unwrap() == nil {

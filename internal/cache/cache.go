@@ -63,11 +63,16 @@ func (s *Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(t)
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
+// invalidTag marks an empty way in the packed tag array. Tags are block
+// numbers shifted down by the set bits, so the all-ones value cannot occur.
+const invalidTag = ^uint64(0)
+
+// wayMeta is the per-way state other than the tag. Tags live in their own
+// packed uint64 array so the per-lookup way scan touches a couple of cache
+// lines instead of every way's full record.
+type wayMeta struct {
 	lru   uint64
+	dirty bool
 }
 
 type waiter struct {
@@ -75,13 +80,31 @@ type waiter struct {
 	done  mem.Done
 }
 
+// mshr is one slot of the cache's fixed MSHR file. Slots live in a flat
+// array (cache-friendly scan, no map or per-miss allocation); fillFn is the
+// slot's permanent fill callback, built once at construction.
 type mshr struct {
 	block   uint64
 	waiters []waiter
+	fillFn  func()
 	// write records whether any coalesced access was a write (line will
 	// be installed dirty).
-	write bool
-	start uint64 // allocation cycle (miss-latency histogram)
+	write  bool
+	active bool
+	idx    int32  // slot index in mshrFile
+	pos    int32  // position in mshrActive while active
+	start  uint64 // allocation cycle (miss-latency histogram)
+}
+
+// accessOp is a pooled in-flight Access: the request copy plus its
+// completion, carried across the lookup-latency delay by a prebuilt closure
+// instead of a fresh capture per access. retried marks re-admissions after
+// an MSHR stall (they skip hit/miss accounting).
+type accessOp struct {
+	req     mem.Request
+	done    mem.Done
+	retried bool
+	runFn   func()
 }
 
 // Cache is one level. It is event-driven: Access schedules the lookup after
@@ -90,13 +113,34 @@ type Cache struct {
 	cfg   Config
 	eng   *sim.Engine
 	lower Lower
-	sets  [][]line
-	mshrs map[uint64]*mshr
+	// tags[set*Ways+way] holds each way's tag (invalidTag when empty);
+	// meta is the parallel dirty/LRU state.
+	tags []uint64
+	meta []wayMeta
+	// mshrFile is the fixed MSHR array. Allocation goes through mshrFreeIdx
+	// (a stack of free slot indexes, O(1)); the per-miss coalesce scan
+	// walks mshrActive, a compact array of the active slots' block numbers
+	// (mshrActiveIdx maps each entry back to its slot), so its length is
+	// the actual occupancy, not the file size.
+	mshrFile      []mshr
+	mshrActive    []uint64
+	mshrActiveIdx []int32
+	mshrFreeIdx   []int32
+	// ops is the accessOp freelist; wbReq and fillReq are scratch requests
+	// for writebacks and downstream fills (Lower.Access copies its
+	// argument, per its contract, so a single scratch per purpose suffices
+	// and keeps the miss path allocation-free — a local request would
+	// escape through the interface call).
+	ops     []*accessOp
+	wbReq   mem.Request
+	fillReq mem.Request
 	// pending holds accesses stalled on MSHR exhaustion, serviced FIFO as
-	// MSHRs free.
-	pending []pendingAccess
-	lruTick uint64
-	stats   Stats
+	// MSHRs free; pendHead indexes the next one so pops keep the backing
+	// array (re-slicing would bleed capacity and force reallocations).
+	pending  []pendingAccess
+	pendHead int
+	lruTick  uint64
+	stats    Stats
 	// mshrOcc samples MSHR occupancy at each allocation (nil until
 	// RegisterMetrics; Observe on nil is a no-op).
 	mshrOcc *metrics.Histogram
@@ -128,19 +172,55 @@ func New(eng *sim.Engine, cfg Config, lower Lower) *Cache {
 		cfg.MSHRs = 8
 	}
 	c := &Cache{
-		cfg:      cfg,
-		eng:      eng,
-		lower:    lower,
-		sets:     make([][]line, cfg.Sets),
-		mshrs:    make(map[uint64]*mshr, cfg.MSHRs),
-		setMask:  uint64(cfg.Sets - 1),
-		setShift: mem.BlockBits,
+		cfg:           cfg,
+		eng:           eng,
+		lower:         lower,
+		tags:          make([]uint64, cfg.Sets*cfg.Ways),
+		meta:          make([]wayMeta, cfg.Sets*cfg.Ways),
+		mshrFile:      make([]mshr, cfg.MSHRs),
+		mshrActive:    make([]uint64, 0, cfg.MSHRs),
+		mshrActiveIdx: make([]int32, 0, cfg.MSHRs),
+		mshrFreeIdx:   make([]int32, 0, cfg.MSHRs),
+		setMask:       uint64(cfg.Sets - 1),
+		setShift:      mem.BlockBits,
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	// Free slots pop from the stack tail; seeding it in reverse keeps
+	// allocation order by ascending slot index (cosmetic, but stable).
+	for i := len(c.mshrFile) - 1; i >= 0; i-- {
+		m := &c.mshrFile[i]
+		m.idx = int32(i)
+		m.fillFn = func() { c.fill(m) }
+		c.mshrFreeIdx = append(c.mshrFreeIdx, int32(i))
 	}
 	_ = bits.UintSize // keep math/bits for future geometry checks
 	return c
+}
+
+// getOp takes an accessOp from the freelist, building the instance (and its
+// permanent run closure) only on first use.
+func (c *Cache) getOp() *accessOp {
+	if n := len(c.ops); n > 0 {
+		op := c.ops[n-1]
+		c.ops = c.ops[:n-1]
+		return op
+	}
+	op := &accessOp{} //nomadlint:ignore poolalloc -- freelist constructor: the one allocation the pool amortizes
+	op.runFn = func() { c.runOp(op) }
+	return op
+}
+
+// runOp fires after the lookup latency: it recycles the op, then performs
+// the tag check (release-before-callback: lookup may re-enter Access).
+func (c *Cache) runOp(op *accessOp) {
+	req, done, retried := op.req, op.done, op.retried
+	op.req = mem.Request{} // drop the probe pointer
+	op.done = nil
+	op.retried = false
+	c.ops = append(c.ops, op)
+	c.lookup(req, done, retried)
 }
 
 // Stats returns the level's counters.
@@ -180,8 +260,9 @@ func (c *Cache) tagOf(block uint64) uint64 {
 // Access performs a cache access for req (block-aligned internally). done is
 // invoked when the access completes at this level.
 func (c *Cache) Access(req *mem.Request, done mem.Done) {
-	r := *req // copy: the caller may reuse the request
-	if p := r.Probe; p != nil && p.SpanID != 0 && c.spans != nil {
+	if p := req.Probe; p != nil && p.SpanID != 0 && c.spans != nil {
+		// Sampled span path (1-in-N accesses): the wrapping closure is an
+		// accepted allocation, paid only by sampled requests.
 		start := c.eng.Now()
 		inner := done
 		id, core := p.SpanID, p.Core
@@ -195,27 +276,28 @@ func (c *Cache) Access(req *mem.Request, done mem.Done) {
 			}
 		}
 	}
-	c.eng.Schedule(c.cfg.Latency, func() {
-		c.lookup(r, done, false)
-	})
+	op := c.getOp()
+	op.req = *req // copy: the caller may reuse the request
+	op.done = done
+	c.eng.Schedule(c.cfg.Latency, op.runFn)
 }
 
 // lookup performs the tag check. retried accesses (re-admitted after MSHR
 // exhaustion) are not re-counted in the hit/miss statistics.
 func (c *Cache) lookup(req mem.Request, done mem.Done, retried bool) {
 	block := mem.BlockNum(req.Addr)
-	set := c.sets[c.setIndex(block)]
+	base := int(c.setIndex(block)) * c.cfg.Ways
 	tag := c.tagOf(block)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
+	for i, t := range c.tags[base : base+c.cfg.Ways] {
+		if t == tag {
 			if !retried {
 				c.stats.Hits++
 			}
+			m := &c.meta[base+i]
 			c.lruTick++
-			l.lru = c.lruTick
+			m.lru = c.lruTick
 			if req.Write {
-				l.dirty = true
+				m.dirty = true
 			}
 			if done != nil {
 				done()
@@ -230,15 +312,19 @@ func (c *Cache) miss(req mem.Request, block uint64, done mem.Done, retried bool)
 	if !retried {
 		c.stats.Misses++
 	}
-	if m, ok := c.mshrs[block]; ok {
-		c.stats.Coalesced++
-		m.waiters = append(m.waiters, waiter{write: req.Write, done: done})
-		if req.Write {
-			m.write = true
+	for i, b := range c.mshrActive {
+		if b == block {
+			m := &c.mshrFile[c.mshrActiveIdx[i]]
+			c.stats.Coalesced++
+			m.waiters = append(m.waiters, waiter{write: req.Write, done: done})
+			if req.Write {
+				m.write = true
+			}
+			return
 		}
-		return
 	}
-	if len(c.mshrs) >= c.cfg.MSHRs {
+	n := len(c.mshrFreeIdx)
+	if n == 0 {
 		c.stats.MSHRStalls++
 		if req.Probe != nil {
 			req.Probe.Cause = mem.StallMSHR
@@ -246,82 +332,115 @@ func (c *Cache) miss(req mem.Request, block uint64, done mem.Done, retried bool)
 		c.pending = append(c.pending, pendingAccess{req: req, done: done})
 		return
 	}
-	m := &mshr{block: block, write: req.Write, start: c.eng.Now()}
-	m.waiters = append(m.waiters, waiter{write: req.Write, done: done})
-	c.mshrs[block] = m
-	if check.Enabled {
-		check.Assert(len(c.mshrs) <= c.cfg.MSHRs,
-			"cache %s: %d MSHRs allocated, capacity %d", c.cfg.Name, len(c.mshrs), c.cfg.MSHRs)
-	}
-	c.mshrOcc.Observe(uint64(len(c.mshrs)))
+	idx := c.mshrFreeIdx[n-1]
+	c.mshrFreeIdx = c.mshrFreeIdx[:n-1]
+	m := &c.mshrFile[idx]
+	m.block = block
+	m.write = req.Write
+	m.start = c.eng.Now()
+	m.active = true
+	m.pos = int32(len(c.mshrActive))
+	m.waiters = append(m.waiters[:0], waiter{write: req.Write, done: done})
+	c.mshrActive = append(c.mshrActive, block)
+	c.mshrActiveIdx = append(c.mshrActiveIdx, idx)
+	c.mshrOcc.Observe(uint64(len(c.mshrActive)))
 
-	fill := req
-	fill.Addr = mem.BlockAligned(req.Addr)
-	fill.Write = false // fetch the block; the write merges on fill
-	c.lower.Access(&fill, func() {
-		c.fill(m)
-	})
+	c.fillReq = req
+	c.fillReq.Addr = mem.BlockAligned(req.Addr)
+	c.fillReq.Write = false // fetch the block; the write merges on fill
+	c.lower.Access(&c.fillReq, m.fillFn)
 }
 
 func (c *Cache) fill(m *mshr) {
 	if check.Enabled {
-		check.Assert(c.mshrs[m.block] == m,
-			"cache %s: fill for block %#x does not match its MSHR", c.cfg.Name, m.block)
+		check.Assert(m.active,
+			"cache %s: fill for block %#x hit an inactive MSHR slot", c.cfg.Name, m.block)
 		check.Assert(len(m.waiters) > 0,
 			"cache %s: MSHR for block %#x filled with no waiters", c.cfg.Name, m.block)
 	}
 	c.missLat.Observe(c.eng.Now() - m.start)
 	block := m.block
 	setIdx := c.setIndex(block)
-	set := c.sets[setIdx]
+	base := int(setIdx) * c.cfg.Ways
 	tag := c.tagOf(block)
 
 	// Victim selection: invalid first, else LRU.
 	victim := 0
 	var oldest uint64 = ^uint64(0)
 	found := false
-	for i := range set {
-		if !set[i].valid {
+	for i, t := range c.tags[base : base+c.cfg.Ways] {
+		if t == invalidTag {
 			victim = i
 			found = true
 			break
 		}
-		if set[i].lru < oldest {
-			oldest = set[i].lru
+		if c.meta[base+i].lru < oldest {
+			oldest = c.meta[base+i].lru
 			victim = i
 		}
 	}
-	v := &set[victim]
-	if check.Enabled {
-		check.Assert(found || v.valid,
-			"cache %s: LRU victim in set %d is invalid but was not chosen as free", c.cfg.Name, setIdx)
-	}
-	if !found && v.valid && v.dirty {
+	v := &c.meta[base+victim]
+	vtag := c.tags[base+victim]
+	if !found && vtag != invalidTag && v.dirty {
 		c.stats.Writebacks++
 		// Reconstruct the victim's block address from tag and set.
-		vblock := v.tag<<uint(bits.TrailingZeros64(uint64(c.cfg.Sets))) | setIdx
-		wb := mem.Request{
+		vblock := vtag<<uint(bits.TrailingZeros64(uint64(c.cfg.Sets))) | setIdx
+		c.wbReq = mem.Request{
 			Addr:  vblock << mem.BlockBits,
 			Write: true,
 			Kind:  mem.KindDemand,
 			Core:  -1,
 		}
-		c.lower.Access(&wb, nil)
+		c.lower.Access(&c.wbReq, nil) // Access copies; wbReq is scratch
 	}
 	c.lruTick++
-	*v = line{tag: tag, valid: true, dirty: m.write, lru: c.lruTick}
+	c.tags[base+victim] = tag
+	*v = wayMeta{dirty: m.write, lru: c.lruTick}
 
-	delete(c.mshrs, block)
-	for _, w := range m.waiters {
-		if w.done != nil {
-			w.done()
+	// Free the slot before firing waiters (a waiter may re-enter and claim
+	// it); detach the waiter list so a re-allocation cannot clobber it
+	// mid-iteration, and hand the backing array back afterwards if the slot
+	// is still unclaimed.
+	ws := m.waiters
+	m.waiters = nil
+	m.active = false
+	// Swap-remove the slot's entry from the compact active arrays and
+	// return the slot to the free stack.
+	last := len(c.mshrActive) - 1
+	moved := c.mshrActiveIdx[last]
+	c.mshrActive[m.pos] = c.mshrActive[last]
+	c.mshrActiveIdx[m.pos] = moved
+	c.mshrFile[moved].pos = m.pos
+	c.mshrActive = c.mshrActive[:last]
+	c.mshrActiveIdx = c.mshrActiveIdx[:last]
+	c.mshrFreeIdx = append(c.mshrFreeIdx, m.idx)
+	for i := range ws {
+		if ws[i].done != nil {
+			ws[i].done()
 		}
 	}
-	// An MSHR freed: admit one stalled access.
-	if len(c.pending) > 0 {
-		p := c.pending[0]
-		c.pending = c.pending[1:]
-		c.eng.Schedule(0, func() { c.lookup(p.req, p.done, true) })
+	for i := range ws {
+		ws[i] = waiter{} // release the done closures
+	}
+	if m.waiters == nil {
+		m.waiters = ws[:0]
+	}
+	// An MSHR freed: admit one stalled access, FIFO, through a pooled op
+	// (stalls are common under small MSHR files, so the retry must not
+	// allocate either).
+	if len(c.pending) > c.pendHead {
+		p := c.pending[c.pendHead]
+		c.pending[c.pendHead] = pendingAccess{} // release the done closure
+		c.pendHead++
+		if c.pendHead == len(c.pending) {
+			c.pending = c.pending[:0]
+			c.pendHead = 0
+		}
+		op := c.getOp()
+		op.req = p.req
+		op.done = p.done
+		op.retried = true
+		c.eng.Schedule(0, op.runFn)
 	}
 }
 
@@ -331,15 +450,15 @@ func (c *Cache) fill(m *mshr) {
 // returns the number of dirty lines written back.
 func (c *Cache) FlushPage(pageAddr uint64) int {
 	wbs := 0
-	base := mem.BlockNum(pageAddr &^ (mem.PageSize - 1))
+	first := mem.BlockNum(pageAddr &^ (mem.PageSize - 1))
 	for i := uint64(0); i < mem.SubBlocksPerPage; i++ {
-		block := base + i
-		set := c.sets[c.setIndex(block)]
+		block := first + i
+		base := int(c.setIndex(block)) * c.cfg.Ways
 		tag := c.tagOf(block)
-		for j := range set {
-			l := &set[j]
-			if l.valid && l.tag == tag {
-				if l.dirty {
+		for j, t := range c.tags[base : base+c.cfg.Ways] {
+			if t == tag {
+				m := &c.meta[base+j]
+				if m.dirty {
 					wbs++
 					c.stats.FlushWBs++
 					wb := mem.Request{
@@ -350,8 +469,8 @@ func (c *Cache) FlushPage(pageAddr uint64) int {
 					}
 					c.lower.Access(&wb, nil)
 				}
-				l.valid = false
-				l.dirty = false
+				c.tags[base+j] = invalidTag
+				m.dirty = false
 				c.stats.FlushedLines++
 			}
 		}
@@ -360,4 +479,4 @@ func (c *Cache) FlushPage(pageAddr uint64) int {
 }
 
 // OutstandingMSHRs reports how many MSHRs are in use (for tests).
-func (c *Cache) OutstandingMSHRs() int { return len(c.mshrs) }
+func (c *Cache) OutstandingMSHRs() int { return len(c.mshrActive) }

@@ -153,14 +153,24 @@ type subEntry struct {
 }
 
 type pcshr struct {
+	// b is the owning Backend: the register itself is the dram.Completer
+	// for its sub-block bursts, so issuing a read or write costs no
+	// closure allocation (the callback routes through Complete with a
+	// packed argument).
+	b     *Backend
 	valid bool
 	// epoch invalidates in-flight DRAM callbacks from a previous
 	// occupancy of this register: a write-absorbed sub-block lets the
 	// command complete while its superseded off-package read is still in
 	// flight.
-	epoch      uint64
-	cmd        Command
-	prio       []uint // prioritized sub-block indexes not yet read-issued
+	epoch uint64
+	cmd   Command
+	// prio holds prioritized sub-block indexes not yet read-issued;
+	// prioHead indexes the next one. Consuming by index (not re-slicing)
+	// keeps the backing array, so an epoch's appends reuse capacity left
+	// by earlier occupancies instead of reallocating.
+	prio       []uint
+	prioHead   int
 	nextSeq    uint   // next sequential sub-block to consider
 	rvec       uint64 // read issued (or skipped via write-miss absorption)
 	bvec       uint64 // sub-block present in the page copy buffer
@@ -170,8 +180,11 @@ type pcshr struct {
 	started    bool   // has a copy buffer
 	bufWaitAt  uint64 // cycle the register began waiting for a buffer
 	subs       []subEntry
-	overflow   []subEntry
-	group      int
+	// overflow queues sub-entry arrivals beyond cfg.SubEntries; ovHead
+	// indexes the next to drain (same capacity-preserving scheme as prio).
+	overflow []subEntry
+	ovHead   int
+	group    int
 }
 
 type pendingCmd struct {
@@ -252,7 +265,7 @@ func NewBackend(eng *sim.Engine, cfg BackendConfig, hbm, ddr *dram.Device) *Back
 	for g := range b.groups {
 		b.groups[g].regs = make([]*pcshr, per)
 		for i := range b.groups[g].regs {
-			b.groups[g].regs[i] = &pcshr{group: g}
+			b.groups[g].regs[i] = &pcshr{group: g, b: b}
 		}
 		b.groups[g].freeBufs = bufPer
 		b.groups[g].bufs = bufPer
@@ -378,7 +391,8 @@ func (b *Backend) allocate(r *pcshr, cmd Command) {
 			check.Assert(!dup, "backend: second concurrent writeback for pfn %#x", cmd.PFN)
 		}
 	}
-	*r = pcshr{valid: true, cmd: cmd, group: r.group, epoch: r.epoch + 1}
+	*r = pcshr{valid: true, cmd: cmd, group: r.group, epoch: r.epoch + 1, b: r.b,
+		prio: r.prio[:0], subs: r.subs[:0], overflow: r.overflow[:0]}
 	b.trace.Emit(b.eng.Now(), metrics.EvPCSHRAlloc, cmd.CFN, cmd.PFN)
 	if cmd.Type == CmdFill {
 		b.stats.Fills++
@@ -423,18 +437,34 @@ func (b *Backend) issueReads(r *pcshr) {
 		}
 		r.rvec |= 1 << si
 		r.inFlight++
-		epoch := r.epoch
+		arg := r.epoch<<8 | uint64(si)<<1 | completeRead
 		if r.cmd.Type == CmdFill {
 			src := mem.AddrInFrame(r.cmd.PFN, uint64(si)*mem.BlockSize)
-			b.ddr.Access(src, false, mem.KindFill, priority, func() {
-				b.readArrived(r, epoch, si)
-			})
+			b.ddr.AccessArg(src, false, mem.KindFill, priority, r, arg)
 		} else {
 			src := mem.AddrInFrame(r.cmd.CFN, uint64(si)*mem.BlockSize)
-			b.hbm.Access(src, false, mem.KindWriteback, priority, func() {
-				b.readArrived(r, epoch, si)
-			})
+			b.hbm.AccessArg(src, false, mem.KindWriteback, priority, r, arg)
 		}
+	}
+}
+
+// Completion-argument packing for pcshr.Complete: bit 0 distinguishes read
+// arrivals from write completions, bits 1..7 carry the sub-block index, and
+// the rest is the register epoch that invalidates stale callbacks.
+const (
+	completeWrite = uint64(0)
+	completeRead  = uint64(1)
+)
+
+// Complete implements dram.Completer: one long-lived callback object per
+// register instead of one closure per burst.
+func (r *pcshr) Complete(arg uint64) {
+	epoch := arg >> 8
+	si := uint(arg>>1) & 0x7f
+	if arg&1 == completeRead {
+		r.b.readArrived(r, epoch, si)
+	} else {
+		r.b.writeDone(r, epoch)
 	}
 }
 
@@ -442,13 +472,15 @@ func (b *Backend) issueReads(r *pcshr) {
 // sub-blocks come first and ride the DRAM priority path
 // (critical-data-first), then the remaining sub-blocks in sequential order.
 func (b *Backend) nextRead(r *pcshr) (si uint, priority, ok bool) {
-	for len(r.prio) > 0 {
-		si = r.prio[0]
-		r.prio = r.prio[1:]
+	for r.prioHead < len(r.prio) {
+		si = r.prio[r.prioHead]
+		r.prioHead++
 		if r.rvec&(1<<si) == 0 {
 			return si, true, true
 		}
 	}
+	r.prio = r.prio[:0] // fully consumed: rewind so later appends reuse it
+	r.prioHead = 0
 	for r.nextSeq < mem.SubBlocksPerPage {
 		si = r.nextSeq
 		r.nextSeq++
@@ -480,17 +512,13 @@ func (b *Backend) readArrived(r *pcshr, epoch uint64, si uint) {
 // issueWrite moves a buffered sub-block to its destination.
 func (b *Backend) issueWrite(r *pcshr, si uint) {
 	r.wvec |= 1 << si
-	epoch := r.epoch
+	arg := r.epoch<<8 | uint64(si)<<1 | completeWrite
 	if r.cmd.Type == CmdFill {
 		dst := mem.AddrInFrame(r.cmd.CFN, uint64(si)*mem.BlockSize)
-		b.hbm.Access(dst, true, mem.KindFill, false, func() {
-			b.writeDone(r, epoch)
-		})
+		b.hbm.AccessArg(dst, true, mem.KindFill, false, r, arg)
 	} else {
 		dst := mem.AddrInFrame(r.cmd.PFN, uint64(si)*mem.BlockSize)
-		b.ddr.Access(dst, true, mem.KindWriteback, false, func() {
-			b.writeDone(r, epoch)
-		})
+		b.ddr.AccessArg(dst, true, mem.KindWriteback, false, r, arg)
 	}
 }
 
@@ -517,9 +545,9 @@ func (b *Backend) complete(r *pcshr) {
 			bits.OnesCount64(r.wvec) == mem.SubBlocksPerPage,
 			"backend: retiring PCSHR for %s %#x with incomplete vectors r=%#x b=%#x w=%#x",
 			cmd.Type, cmd.CFN, r.rvec, r.bvec, r.wvec)
-		check.Assert(len(r.subs) == 0 && len(r.overflow) == 0,
+		check.Assert(len(r.subs) == 0 && len(r.overflow) == r.ovHead,
 			"backend: retiring PCSHR for %s %#x with %d sub-entries and %d overflow waiters parked",
-			cmd.Type, cmd.CFN, len(r.subs), len(r.overflow))
+			cmd.Type, cmd.CFN, len(r.subs), len(r.overflow)-r.ovHead)
 		// r.inFlight may legitimately be nonzero here: a write-absorbed
 		// sub-block lets the command finish while its superseded read is
 		// still in flight (the epoch check drops it on arrival).
@@ -534,7 +562,11 @@ func (b *Backend) complete(r *pcshr) {
 	// Service any stragglers (shouldn't exist: every sub-block was
 	// serviced on arrival) and recycle the buffer and register.
 	g := &b.groups[r.group]
-	*r = pcshr{group: r.group, epoch: r.epoch + 1}
+	// Reset the register, preserving the Completer backref and the parked
+	// slices' capacity (their contents are gone: all empty per the
+	// invariants above, and prio entries were consumed by nextRead).
+	*r = pcshr{group: r.group, epoch: r.epoch + 1, b: r.b,
+		prio: r.prio[:0], subs: r.subs[:0], overflow: r.overflow[:0]}
 	if len(g.bufWaiters) > 0 {
 		next := g.bufWaiters[0]
 		g.bufWaiters = g.bufWaiters[1:]
@@ -575,15 +607,20 @@ func (b *Backend) serviceSubEntries(r *pcshr, si uint) {
 		}
 	}
 	r.subs = kept
-	for len(r.overflow) > 0 && len(r.subs) < b.cfg.SubEntries {
-		se := r.overflow[0]
-		r.overflow = r.overflow[1:]
+	for r.ovHead < len(r.overflow) && len(r.subs) < b.cfg.SubEntries {
+		se := r.overflow[r.ovHead]
+		r.overflow[r.ovHead] = subEntry{} // release the done/probe refs
+		r.ovHead++
 		if se.si == si || r.bvec&(1<<se.si) != 0 {
 			b.emitSpan(se.probe, metrics.SpanPCSHRWait, se.parkedAt, b.eng.Now())
 			b.scheduleDone(se.done)
 			continue
 		}
 		b.park(r, se)
+	}
+	if r.ovHead == len(r.overflow) {
+		r.overflow = r.overflow[:0] // fully drained: rewind
+		r.ovHead = 0
 	}
 }
 

@@ -192,6 +192,56 @@ type Frontend struct {
 	// (nil until RegisterMetrics); trace records begin/end events.
 	tagLat *metrics.Histogram
 	trace  *metrics.Trace
+
+	// walks is the freelist of pooled in-flight page-table walks.
+	walks []*fwalkOp
+}
+
+// fwalkOp is one pooled in-flight walk, carried across the walk-latency
+// delay by its prebuilt fn callback.
+type fwalkOp struct {
+	coreID int
+	vaddr  uint64
+	done   func(tlb.Entry)
+	fn     func()
+}
+
+func (f *Frontend) getWalk() *fwalkOp {
+	if n := len(f.walks); n > 0 {
+		op := f.walks[n-1]
+		f.walks = f.walks[:n-1]
+		return op
+	}
+	op := &fwalkOp{} //nomadlint:ignore poolalloc -- freelist constructor: the one allocation the pool amortizes
+	op.fn = func() { f.runWalk(op) }
+	return op
+}
+
+// runWalk fires after the walk latency: recycle the op, then resolve the
+// PTE (release-before-callback: handlers below may start another walk).
+func (f *Frontend) runWalk(op *fwalkOp) {
+	coreID, vaddr, done := op.coreID, op.vaddr, op.done
+	op.done = nil
+	f.walks = append(f.walks, op)
+	vpn := mem.PageNum(vaddr)
+	pte := f.mm.PTEOf(coreID, vpn)
+	switch {
+	case pte.NonCacheable:
+		f.stats.Uncacheable++
+		done(tlb.Entry{VPN: vpn, Frame: pte.Frame, Space: mem.SpacePhysical})
+	case pte.Cached:
+		f.stats.TagHits++
+		done(tlb.Entry{VPN: vpn, Frame: pte.Frame, Space: mem.SpaceCache})
+	case !f.shouldCache(pte):
+		// Selective caching: not hot enough yet; run from off-package
+		// memory (equivalent to the (hit, miss) case of §III-E).
+		f.stats.SelectiveBypasses++
+		done(tlb.Entry{VPN: vpn, Frame: pte.Frame, Space: mem.SpacePhysical})
+	case f.cfg.Blocking:
+		f.blockingMiss(coreID, vpn, pte, done)
+	default:
+		f.tagMiss(coreID, vpn, mem.PageOffset(vaddr), pte, done)
+	}
 }
 
 // SetShootdowner wires the TLB shootdown fallback (optional; without it,
@@ -255,28 +305,11 @@ func (f *Frontend) Manager() *osmem.Manager { return f.mm }
 // Walk implements tlb.Walker: the page-table walk plus, for cacheable
 // uncached pages, DC tag miss handling.
 func (f *Frontend) Walk(coreID int, vaddr uint64, done func(tlb.Entry)) {
-	f.eng.Schedule(f.cfg.WalkLatency, func() {
-		vpn := mem.PageNum(vaddr)
-		pte := f.mm.PTEOf(coreID, vpn)
-		switch {
-		case pte.NonCacheable:
-			f.stats.Uncacheable++
-			done(tlb.Entry{VPN: vpn, Frame: pte.Frame, Space: mem.SpacePhysical})
-		case pte.Cached:
-			f.stats.TagHits++
-			done(tlb.Entry{VPN: vpn, Frame: pte.Frame, Space: mem.SpaceCache})
-		case !f.shouldCache(pte):
-			// Selective caching: not hot enough yet; run from
-			// off-package memory (equivalent to the (hit, miss)
-			// case of §III-E).
-			f.stats.SelectiveBypasses++
-			done(tlb.Entry{VPN: vpn, Frame: pte.Frame, Space: mem.SpacePhysical})
-		case f.cfg.Blocking:
-			f.blockingMiss(coreID, vpn, pte, done)
-		default:
-			f.tagMiss(coreID, vpn, mem.PageOffset(vaddr), pte, done)
-		}
-	})
+	op := f.getWalk()
+	op.coreID = coreID
+	op.vaddr = vaddr
+	op.done = done
+	f.eng.Schedule(f.cfg.WalkLatency, op.fn)
 }
 
 // shouldCache applies the selective-caching policy to an uncached,

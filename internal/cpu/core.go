@@ -99,6 +99,10 @@ type loadSlot struct {
 	done  bool
 	start uint64    // cycle the load issued (span envelope start)
 	probe mem.Probe // provenance tag; address is stable (fixed ring)
+	// doneFn is the slot's completion callback, built once in New (the
+	// ring is fixed, so the captured slot pointer stays valid). Reusing it
+	// keeps load issue allocation-free.
+	doneFn func()
 }
 
 // Core is one simulated CPU. Register it as a sim.Ticker.
@@ -140,13 +144,30 @@ func New(id int, cfg Config, port MemPort, wl *workload.Stream) *Core {
 	if cfg.Width <= 0 || cfg.ROBSize <= 0 || cfg.MaxLoads <= 0 {
 		panic("cpu: Width, ROBSize, and MaxLoads must be positive")
 	}
-	return &Core{
+	c := &Core{
 		ID:    id,
 		cfg:   cfg,
 		port:  port,
 		wl:    wl,
 		loads: make([]loadSlot, cfg.ROBSize),
 	}
+	for i := range c.loads {
+		slot := &c.loads[i]
+		slot.doneFn = func() {
+			slot.done = true
+			c.inFlight--
+			if slot.probe.SpanID != 0 {
+				c.spans.Emit(metrics.Span{
+					ID:    slot.probe.SpanID,
+					Kind:  metrics.SpanLoad,
+					Core:  int32(c.ID),
+					Start: slot.start,
+					End:   c.nowCycle,
+				})
+			}
+		}
+	}
+	return c
 }
 
 // Stats returns the core's counters.
@@ -272,36 +293,26 @@ func (c *Core) Tick(now uint64) {
 			}
 			c.stats.MemOps++
 			c.stats.Loads++
-			idx := (c.loadHead + c.loadCount) % len(c.loads)
-			c.loads[idx] = loadSlot{
-				pos:   c.insertSeq,
-				start: now,
-				probe: mem.Probe{Core: int32(c.ID), Cause: mem.StallSRAM},
+			idx := c.loadHead + c.loadCount
+			if idx >= len(c.loads) {
+				idx -= len(c.loads)
 			}
+			slot := &c.loads[idx]
+			slot.pos = c.insertSeq
+			slot.done = false
+			slot.start = now
+			slot.probe = mem.Probe{Core: int32(c.ID), Cause: mem.StallSRAM}
 			if c.sampleEvery > 0 && (c.stats.Loads-1)%c.sampleEvery == 0 {
 				// SpanID packs (core, load sequence) so IDs are unique
 				// across cores and stable across same-seed runs.
-				c.loads[idx].probe.SpanID = uint64(c.ID+1)<<40 | c.stats.Loads
+				slot.probe.SpanID = uint64(c.ID+1)<<40 | c.stats.Loads
 			}
 			c.loadCount++
 			c.inFlight++
 			c.insertSeq++
 			budget--
 			inserted++
-			slot := &c.loads[idx]
-			c.port.Load(c.ID, op.Addr, &slot.probe, func() {
-				slot.done = true
-				c.inFlight--
-				if slot.probe.SpanID != 0 {
-					c.spans.Emit(metrics.Span{
-						ID:    slot.probe.SpanID,
-						Kind:  metrics.SpanLoad,
-						Core:  int32(c.ID),
-						Start: slot.start,
-						End:   c.nowCycle,
-					})
-				}
-			})
+			c.port.Load(c.ID, op.Addr, &slot.probe, slot.doneFn)
 			c.memOp = nil
 			continue
 		}

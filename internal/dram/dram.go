@@ -120,16 +120,31 @@ func (s *Stats) TotalBytes() uint64 {
 	return t
 }
 
+// Completer receives a completion callback carrying a caller-packed argument.
+// It exists so high-rate callers (the NOMAD back-end's per-burst completions)
+// can route completions through one long-lived object + a uint64 instead of
+// allocating a fresh closure per burst.
+type Completer interface {
+	Complete(arg uint64)
+}
+
+// request is pooled: Device.getRequest/release recycle instances through a
+// freelist, and completeFn is built once per instance so steady-state traffic
+// schedules completions without allocating.
 type request struct {
-	addr     uint64
-	write    bool
-	kind     mem.Kind
-	priority bool
-	arrival  uint64
-	done     mem.Done
-	bank     int
-	row      uint64
-	probe    *mem.Probe // nil for untagged traffic
+	addr       uint64
+	row        uint64
+	arrival    uint64
+	arg        uint64
+	done       mem.Done
+	comp       Completer
+	probe      *mem.Probe // nil for untagged traffic
+	ch         *channel
+	completeFn func()
+	kind       mem.Kind
+	bank       int32
+	write      bool
+	priority   bool
 }
 
 type bank struct {
@@ -165,6 +180,44 @@ type Device struct {
 	chanMask     uint64
 	blocksPerRow uint64
 	maxQueue     int
+	// queued counts requests waiting in all channel queues, so the
+	// per-cycle Tick skips the channel sweep entirely when nothing is
+	// waiting (the common cycle: in-flight bursts complete via events).
+	queued int
+
+	// free is the request freelist. The device is single-threaded (engine
+	// discipline), so a plain slice beats sync.Pool and is deterministic.
+	free []*request
+}
+
+// getRequest takes a request from the freelist, building the instance (and
+// its permanent completion closure) only on first use.
+func (d *Device) getRequest() *request {
+	if n := len(d.free); n > 0 {
+		r := d.free[n-1]
+		d.free = d.free[:n-1]
+		return r
+	}
+	r := &request{} //nomadlint:ignore poolalloc -- freelist constructor: the one allocation the pool amortizes
+	r.completeFn = func() { d.complete(r) }
+	return r
+}
+
+// complete fires when a request's data burst finishes: it frees the inflight
+// slot, recycles the request, and only then invokes the caller's callback.
+// Release-before-callback matters — the callback may re-enter Access and is
+// then handed this same instance, which is fine because every field it needs
+// was copied out first.
+func (d *Device) complete(r *request) {
+	r.ch.inflight--
+	done, comp, arg := r.done, r.comp, r.arg
+	r.done, r.comp, r.probe, r.ch = nil, nil, nil, nil
+	d.free = append(d.free, r)
+	if comp != nil {
+		comp.Complete(arg)
+	} else if done != nil {
+		done()
+	}
 }
 
 // New creates a Device and registers its scheduler with the engine.
@@ -273,19 +326,36 @@ func (d *Device) Access(addr uint64, write bool, kind mem.Kind, priority bool, d
 // issue it switches to the dominant cost the burst pays (row conflict >
 // bus wait > plain service). p may be nil (Access delegates here).
 func (d *Device) AccessProbe(addr uint64, write bool, kind mem.Kind, priority bool, p *mem.Probe, done mem.Done) {
+	r := d.getRequest()
+	r.done = done
+	r.probe = p
+	d.enqueue(r, addr, write, kind, priority)
+}
+
+// AccessArg is Access with a Completer callback: on completion,
+// comp.Complete(arg) fires instead of a done closure. The allocation-free
+// path for callers issuing many bursts against one long-lived object.
+func (d *Device) AccessArg(addr uint64, write bool, kind mem.Kind, priority bool, comp Completer, arg uint64) {
+	r := d.getRequest()
+	r.comp = comp
+	r.arg = arg
+	d.enqueue(r, addr, write, kind, priority)
+}
+
+func (d *Device) enqueue(r *request, addr uint64, write bool, kind mem.Kind, priority bool) {
 	ch, bk, row := d.mapAddr(addr)
-	if p != nil {
-		p.Cause = mem.StallDRAMQueue
+	if r.probe != nil {
+		r.probe.Cause = mem.StallDRAMQueue
 	}
-	r := &request{
-		addr: addr, write: write, kind: kind, priority: priority,
-		arrival: d.eng.Now(), done: done, bank: bk, row: row, probe: p,
-	}
+	r.addr, r.write, r.kind, r.priority = addr, write, kind, priority
+	r.arrival = d.eng.Now()
+	r.bank, r.row = int32(bk), row
 	c := &d.chans[ch]
 	if len(c.queue) >= d.maxQueue {
 		d.stats.QueueFullRejects++
 	}
 	c.queue = append(c.queue, r)
+	d.queued++
 }
 
 // QueueLen returns the current queue length of channel ch (for tests and
@@ -311,6 +381,9 @@ func (d *Device) Promote(addr uint64) bool {
 
 // Tick drives every channel scheduler one cycle.
 func (d *Device) Tick(now uint64) {
+	if d.queued == 0 {
+		return
+	}
 	for i := range d.chans {
 		d.tickChannel(&d.chans[i], now)
 	}
@@ -324,6 +397,9 @@ func (d *Device) Tick(now uint64) {
 // occupancy are carried as absolute cycle stamps (busFreeAt/readyAt), not
 // per-cycle state, so an idle-until channel needs no per-cycle ticks.
 func (d *Device) NextWork(now uint64) uint64 {
+	if d.queued == 0 {
+		return sim.NoWork
+	}
 	for i := range d.chans {
 		c := &d.chans[i]
 		if len(c.queue) > 0 && c.inflight < d.cfg.InflightPerChannel {
@@ -344,6 +420,8 @@ func (d *Device) tickChannel(c *channel, now uint64) {
 		idx := d.pick(c)
 		r := c.queue[idx]
 		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+		c.queue[:cap(c.queue)][len(c.queue)] = nil // drop the vacated slot's ref
+		d.queued--
 		d.issue(c, r, now)
 	}
 	if check.Enabled {
@@ -457,13 +535,8 @@ func (d *Device) issue(c *channel, r *request, now uint64) {
 	}
 
 	c.inflight++
-	done := r.done
-	d.eng.At(dataEnd, func() {
-		c.inflight--
-		if done != nil {
-			done()
-		}
-	})
+	r.ch = c
+	d.eng.At(dataEnd, r.completeFn)
 }
 
 // PeakBandwidthBytesPerCycle returns the device's aggregate data-bus

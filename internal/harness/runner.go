@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"nomad/internal/sim"
 	"nomad/internal/system"
 	"nomad/internal/workload"
 )
@@ -51,6 +52,10 @@ type Options struct {
 	// NoFastForward disables idle-cycle fast-forward in every run (see
 	// system.Config.FastForward); results are byte-identical either way.
 	NoFastForward bool
+	// Engine selects the event-queue implementation for every run ("" is
+	// the timing wheel; sim.KindHeap runs on the binary-heap oracle).
+	// Results are byte-identical across engines.
+	Engine sim.Kind
 	// Progress, when non-nil, is called once per run with its key and must
 	// return a Machine.SetProgress callback (or nil). Callbacks fire on
 	// worker goroutines; system.ProgressPrinter returns a suitable one.
@@ -79,6 +84,7 @@ func (o Options) BaseConfig() system.Config {
 	cfg.TimelineMetrics = o.TimelineMetrics
 	cfg.SelfProfile = o.SelfProfile
 	cfg.FastForward = !o.NoFastForward
+	cfg.Engine = o.Engine
 	return cfg
 }
 

@@ -28,6 +28,7 @@ var RuleNames = []string{
 	"concurrency",
 	"metricname",
 	"floatclock",
+	"poolalloc",
 	"directive",
 }
 
@@ -139,6 +140,9 @@ func Run(mod *Module, cfg Config) []Diagnostic {
 	}
 	if cfg.ruleEnabled("floatclock") {
 		diags = append(diags, checkFloatClock(mod, &cfg)...)
+	}
+	if cfg.ruleEnabled("poolalloc") {
+		diags = append(diags, checkPoolAlloc(mod, &cfg)...)
 	}
 
 	kept := diags[:0]

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// pooledDocMarker identifies pool-managed types by convention: a struct
+// whose type doc comment contains the word "pooled" declares that instances
+// must come from its freelist, not from raw composite literals. The marker
+// keeps the rule self-maintaining — adding a new pool means documenting the
+// type (which the code must do anyway), not editing the linter.
+var pooledDocMarker = regexp.MustCompile(`(?i)\bpooled\b`)
+
+// checkPoolAlloc flags raw allocations (&T{...}, new(T)) of pool-managed
+// types in model packages. The model hot paths recycle their event/request
+// carriers through freelists so the steady-state busy path allocates
+// nothing; a stray &request{} silently reintroduces per-event garbage and
+// splits the object population between pooled and unpooled instances. The
+// freelist constructor itself carries a //nomadlint:ignore poolalloc
+// directive — it is the one allocation the pool amortizes.
+func checkPoolAlloc(mod *Module, cfg *Config) []Diagnostic {
+	// Pass 1: collect pooled type objects across model packages.
+	pooled := map[types.Object]bool{}
+	for _, p := range mod.Sorted() {
+		if !cfg.isModel(mod.Path, p.Path) {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if _, ok := ts.Type.(*ast.StructType); !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					if doc == nil || !pooledDocMarker.MatchString(doc.Text()) {
+						continue
+					}
+					if obj := p.Info.Defs[ts.Name]; obj != nil {
+						pooled[obj] = true
+					}
+				}
+			}
+		}
+	}
+	if len(pooled) == 0 {
+		return nil
+	}
+
+	pooledType := func(t types.Type) (string, bool) {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		if pooled[named.Obj()] {
+			return named.Obj().Name(), true
+		}
+		return "", false
+	}
+
+	// Pass 2: flag raw allocations of those types.
+	var diags []Diagnostic
+	for _, p := range mod.Sorted() {
+		if !cfg.isModel(mod.Path, p.Path) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.UnaryExpr:
+					cl, ok := e.X.(*ast.CompositeLit)
+					if !ok {
+						return true
+					}
+					tv, ok := p.Info.Types[cl]
+					if !ok || tv.Type == nil {
+						return true
+					}
+					if name, ok := pooledType(tv.Type); ok {
+						diags = append(diags, Diagnostic{
+							Pos: mod.Fset.Position(e.Pos()), Rule: "poolalloc",
+							Message: "raw &" + name + "{} bypasses the freelist; acquire pooled instances from their pool (or justify with //nomadlint:ignore poolalloc -- <reason>)",
+						})
+					}
+				case *ast.CallExpr:
+					id, ok := e.Fun.(*ast.Ident)
+					if !ok || len(e.Args) != 1 {
+						return true
+					}
+					if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "new" {
+						return true
+					}
+					tv, ok := p.Info.Types[e.Args[0]]
+					if !ok || !tv.IsType() {
+						return true
+					}
+					if name, ok := pooledType(tv.Type); ok {
+						diags = append(diags, Diagnostic{
+							Pos: mod.Fset.Position(e.Pos()), Rule: "poolalloc",
+							Message: "new(" + name + ") bypasses the freelist; acquire pooled instances from their pool (or justify with //nomadlint:ignore poolalloc -- <reason>)",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

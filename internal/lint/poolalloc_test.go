@@ -1,0 +1,78 @@
+package lint
+
+import "testing"
+
+func TestPoolAllocBad(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+// request is pooled: instances recycle through the device freelist.
+type request struct {
+	addr uint64
+	fn   func()
+}
+
+type device struct{ free []*request }
+
+func (d *device) access(addr uint64) *request {
+	r := &request{addr: addr} // line 12: bypasses the freelist
+	return r
+}
+
+func fresh() *request {
+	return new(request) // line 17: bypasses the freelist
+}
+`, snippetConfig(), nil)
+	wantDiags(t, diags,
+		[2]any{"poolalloc", 12},
+		[2]any{"poolalloc", 17},
+	)
+}
+
+func TestPoolAllocIgnoreEscape(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+// request is pooled.
+type request struct{ fn func() }
+
+type device struct{ free []*request }
+
+func (d *device) get() *request {
+	if n := len(d.free); n > 0 {
+		r := d.free[n-1]
+		d.free = d.free[:n-1]
+		return r
+	}
+	r := &request{} //nomadlint:ignore poolalloc -- freelist constructor
+	r.fn = func() {}
+	return r
+}
+`, snippetConfig(), nil)
+	wantDiags(t, diags)
+}
+
+func TestPoolAllocUnmarkedTypesFree(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+// config holds immutable setup state (not pool-managed).
+type config struct{ n int }
+
+func setup() *config { return &config{n: 4} }
+`, snippetConfig(), nil)
+	wantDiags(t, diags)
+}
+
+func TestPoolAllocOutsideModelFree(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+func ok() {}
+`, snippetConfig(), map[string]map[string]string{
+		"m/tool": {"tool.go": `package tool
+
+// job is pooled in spirit, but this package is not in contract scope.
+type job struct{ fn func() }
+
+func spawn() *job { return &job{} }
+`},
+	})
+	wantDiags(t, diags)
+}

@@ -35,7 +35,7 @@ func (b *Baseline) Access(req *mem.Request, done mem.Done) {
 		b.stats.Writes++
 	} else {
 		b.stats.PhysSpaceReads++
-		done = b.stats.recordRead(b.eng.Now, done)
+		done = b.stats.recordRead(b.now, done)
 	}
 	done = b.wrap(req.Probe, metrics.SpanDDR, done)
 	b.ddr.AccessProbe(mem.Untag(req.Addr), req.Write, req.Kind, req.Priority, req.Probe, done)

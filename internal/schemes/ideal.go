@@ -65,7 +65,7 @@ func (s *Ideal) Access(req *mem.Request, done mem.Done) {
 	if req.Write {
 		s.stats.Writes++
 	} else {
-		done = s.stats.recordRead(s.eng.Now, done)
+		done = s.stats.recordRead(s.now, done)
 	}
 	if mem.SpaceOf(req.Addr) == mem.SpaceCache {
 		if !req.Write {

@@ -47,7 +47,7 @@ func (n *NOMAD) Access(req *mem.Request, done mem.Done) {
 	if req.Write {
 		n.stats.Writes++
 	} else {
-		done = n.stats.recordRead(n.eng.Now, done)
+		done = n.stats.recordRead(n.now, done)
 	}
 	done = n.wrap(req.Probe, metrics.SpanScheme, done)
 	verify := n.backend.Config().VerifyLatency
@@ -58,20 +58,24 @@ func (n *NOMAD) Access(req *mem.Request, done mem.Done) {
 		}
 		cfn := mem.PageNum(addr)
 		si := mem.SubBlockIndex(addr)
-		write := req.Write
-		kind := req.Kind
-		prio := req.Priority
-		probe := req.Probe
-		proceed := func() {
-			if n.backend.CheckCacheAccess(cfn, si, write, probe, done) == core.DataHit {
-				n.hbm.AccessProbe(addr, write, kind, prio, probe,
-					n.wrap(probe, metrics.SpanHBM, done))
-			}
-		}
 		if verify > 0 {
-			n.eng.Schedule(verify, proceed)
-		} else {
-			proceed()
+			// Sensitivity-study path (VerifyLatency > 0): the deferred
+			// closure allocation is accepted — the paper default is 0.
+			write := req.Write
+			kind := req.Kind
+			prio := req.Priority
+			probe := req.Probe
+			n.eng.Schedule(verify, func() {
+				if n.backend.CheckCacheAccess(cfn, si, write, probe, done) == core.DataHit {
+					n.hbm.AccessProbe(addr, write, kind, prio, probe,
+						n.wrap(probe, metrics.SpanHBM, done))
+				}
+			})
+			return
+		}
+		if n.backend.CheckCacheAccess(cfn, si, req.Write, req.Probe, done) == core.DataHit {
+			n.hbm.AccessProbe(addr, req.Write, req.Kind, req.Priority, req.Probe,
+				n.wrap(req.Probe, metrics.SpanHBM, done))
 		}
 		return
 	}

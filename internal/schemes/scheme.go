@@ -47,6 +47,43 @@ type AccessStats struct {
 	// Lat, when set (system wiring), gets one observation per read — the
 	// distribution behind AvgReadLatency (Fig. 9's right axis).
 	Lat *metrics.Histogram
+
+	// recs is the readRec freelist: recordRead recycles its latency
+	// wrappers so the per-read hot path does not allocate.
+	recs []*readRec
+}
+
+// readRec is one pooled in-flight read measurement; fn is its permanent
+// completion wrapper, built once per instance.
+type readRec struct {
+	start uint64
+	now   func() uint64
+	done  mem.Done
+	fn    mem.Done
+}
+
+// getRec takes a readRec from the freelist, building the instance only on
+// first use. The wrapper recycles its record before chaining to done, so a
+// re-entrant read can reuse it immediately.
+func (s *AccessStats) getRec() *readRec {
+	if n := len(s.recs); n > 0 {
+		r := s.recs[n-1]
+		s.recs = s.recs[:n-1]
+		return r
+	}
+	r := &readRec{} //nomadlint:ignore poolalloc -- freelist constructor: the one allocation the pool amortizes
+	r.fn = func() {
+		lat := r.now() - r.start
+		s.ReadLatencySum += lat
+		s.Lat.Observe(lat)
+		done := r.done
+		r.done, r.now = nil, nil
+		s.recs = append(s.recs, r)
+		if done != nil {
+			done()
+		}
+	}
+	return r
 }
 
 // AvgReadLatency returns the mean post-LLC read latency in cycles.
@@ -57,18 +94,15 @@ func (s *AccessStats) AvgReadLatency() float64 {
 	return float64(s.ReadLatencySum) / float64(s.Reads)
 }
 
-// recordRead wraps done to account a read's latency.
+// recordRead wraps done to account a read's latency (pooled: the returned
+// wrapper is recycled at completion, so steady-state reads do not allocate).
 func (s *AccessStats) recordRead(now func() uint64, done mem.Done) mem.Done {
-	start := now()
 	s.Reads++
-	return func() {
-		lat := now() - start
-		s.ReadLatencySum += lat
-		s.Lat.Observe(lat)
-		if done != nil {
-			done()
-		}
-	}
+	r := s.getRec()
+	r.start = now()
+	r.now = now
+	r.done = done
+	return r.fn
 }
 
 // spanTap is the span-emission hook every scheme embeds: wrap() records a

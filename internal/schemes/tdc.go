@@ -74,7 +74,7 @@ func (t *TDC) Access(req *mem.Request, done mem.Done) {
 	if req.Write {
 		t.stats.Writes++
 	} else {
-		done = t.stats.recordRead(t.eng.Now, done)
+		done = t.stats.recordRead(t.now, done)
 	}
 	if mem.SpaceOf(req.Addr) == mem.SpaceCache {
 		if !req.Write {

@@ -152,7 +152,7 @@ func (t *TiD) Access(req *mem.Request, done mem.Done) {
 		t.stats.Writes++
 	} else {
 		t.stats.CacheSpaceReads++
-		done = t.stats.recordRead(t.eng.Now, done)
+		done = t.stats.recordRead(t.now, done)
 	}
 	done = t.wrap(req.Probe, metrics.SpanScheme, done)
 	t.lookup(mem.Request{Addr: addr, Write: req.Write, Kind: req.Kind,

@@ -10,15 +10,20 @@
 //     Ticker and are invoked once per simulated cycle.
 //
 // Determinism: events scheduled for the same cycle run in FIFO order of
-// scheduling (a monotonically increasing sequence number breaks heap ties),
-// and tickers run in registration order before the cycle's events. A given
-// (configuration, workload, seed) therefore always produces identical
-// statistics, which the tests rely on.
+// scheduling, and tickers run in registration order before the cycle's
+// events. A given (configuration, workload, seed) therefore always produces
+// identical statistics, which the tests rely on.
+//
+// The event queue itself sits behind the Scheduler interface: the default
+// WheelScheduler (hierarchical timing wheel, allocation-free steady state)
+// and the original HeapScheduler (binary min-heap, kept as the
+// differential-testing oracle) are interchangeable via WithScheduler, and
+// the equivalence tests prove both produce byte-identical runs.
 //
 // Fast-forward: when every registered ticker also implements FastForwarder
 // and reports quiescence, Run/RunUntil jump the clock directly to the next
 // cycle at which anything can happen — the earliest ticker wake-up, the
-// event-heap head, or the next sampler/interval boundary — instead of
+// scheduler's NextDue, or the next sampler/interval boundary — instead of
 // stepping one cycle at a time. Skipped cycles are bulk-accounted through
 // SkipCycles, and the jump target always lands on a real Step, so a run
 // with fast-forward enabled is state-identical (byte-identical snapshots,
@@ -51,7 +56,7 @@ type FastForwarder interface {
 	// NextWork reports the earliest cycle after now at which this ticker's
 	// Tick might do anything beyond per-cycle stall accounting, assuming no
 	// scheduled event runs in between (the engine separately bounds jumps
-	// by the event heap). Returning now+1 declines fast-forward for this
+	// by the event queue). Returning now+1 declines fast-forward for this
 	// cycle; returning NoWork means only an event can create work. The
 	// contract: for every cycle c in (now, NextWork(now)), Tick(c) must be
 	// exactly equivalent to the per-cycle share of SkipCycles.
@@ -68,71 +73,11 @@ type TickerFunc func(now uint64)
 // Tick implements Ticker.
 func (f TickerFunc) Tick(now uint64) { f(now) }
 
-type event struct {
-	cycle uint64
-	seq   uint64
-	fn    func()
-}
-
-// eventHeap is a hand-rolled binary min-heap ordered by (cycle, seq). It is
-// typed (no interface boxing) because event scheduling is the simulator's
-// hottest allocation path.
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap) push(ev event) {
-	*h = append(*h, ev)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s[n] = event{} // release the closure for GC
-	s = s[:n]
-	*h = s
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && s.less(l, smallest) {
-			smallest = l
-		}
-		if r < n && s.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		s[i], s[smallest] = s[smallest], s[i]
-		i = smallest
-	}
-	return top
-}
-
 // Engine is the simulation clock. The zero value is not usable; call New.
 type Engine struct {
 	now      uint64
-	seq      uint64
 	executed uint64
-	events   eventHeap
+	sched    Scheduler
 	tickers  []Ticker
 
 	// Fast-forward state: ff mirrors tickers when every registered ticker
@@ -164,16 +109,39 @@ type Engine struct {
 // passes 0 to SetInterval.
 const DefaultInterval = 100_000
 
-// New returns an Engine at cycle 0 with no pending work. Fast-forward is
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithScheduler selects the event-queue implementation. The default is the
+// timing wheel; pass NewHeapScheduler() (or NewScheduler(KindHeap)) to run
+// on the binary-heap oracle instead.
+func WithScheduler(s Scheduler) Option {
+	return func(e *Engine) {
+		if s != nil {
+			e.sched = s
+		}
+	}
+}
+
+// New returns an Engine at cycle 0 with no pending work, running on the
+// timing-wheel scheduler unless WithScheduler overrides it. Fast-forward is
 // enabled by default; it only takes effect while every registered ticker
 // implements FastForwarder, so engines driving plain Tickers behave exactly
 // as before.
-func New() *Engine {
-	return &Engine{fastForward: true, allFF: true}
+func New(opts ...Option) *Engine {
+	e := &Engine{fastForward: true, allFF: true, sched: NewWheelScheduler()}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
+
+// SchedulerImpl returns the engine's event queue (for tests and tooling that
+// need to inspect which implementation is driving the run).
+func (e *Engine) SchedulerImpl() Scheduler { return e.sched }
 
 // AddTicker registers t to be invoked every cycle. Tickers run in
 // registration order. A ticker that does not implement FastForwarder
@@ -219,11 +187,7 @@ func (e *Engine) At(cycle uint64, fn func()) {
 	if cycle < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d, now is %d", cycle, e.now))
 	}
-	if fn == nil {
-		panic("sim: scheduling a nil event")
-	}
-	e.seq++
-	e.events.push(event{cycle: cycle, seq: e.seq, fn: fn})
+	e.sched.ScheduleAt(cycle, fn)
 }
 
 // SetSampler registers fn to run every `every` cycles, after that cycle's
@@ -284,14 +248,16 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // those events schedule for the same cycle), then the sampler and interval
 // hooks for every window boundary that has elapsed.
 func (e *Engine) Step() {
-	if len(e.events) > 0 && e.events[0].cycle <= e.now {
-		e.drain()
-	}
+	// Unconditional Advance: besides draining stragglers, it slides the
+	// scheduler's clock to e.now, so events the tickers are about to
+	// schedule take the wheel's O(1) near-window path even right after a
+	// fast-forward jump.
+	e.executed += e.sched.Advance(e.now)
 	e.now++
 	for _, t := range e.tickers {
 		t.Tick(e.now)
 	}
-	e.drain()
+	e.executed += e.sched.Advance(e.now)
 	// Both hooks catch up to every elapsed boundary, each firing with the
 	// boundary cycle as now, so a multi-window advance cannot shift the
 	// window phase. (Single-cycle steps hit each boundary exactly; the
@@ -318,15 +284,6 @@ func (e *Engine) Step() {
 	}
 }
 
-// drain runs all events due at or before the current cycle.
-func (e *Engine) drain() {
-	for len(e.events) > 0 && e.events[0].cycle <= e.now {
-		ev := e.events.pop()
-		e.executed++
-		ev.fn()
-	}
-}
-
 // minJump is the smallest span worth jumping over. A jump's fixed cost —
 // polling every ticker, bulk-accounting, one landing Step — is comparable
 // to stepping a handful of quiescent cycles, so shorter spans are cheaper
@@ -347,10 +304,11 @@ func (e *Engine) tryJump(limit uint64) bool {
 		return false
 	}
 	target := limit
-	// The event-heap head is the cheapest bound and, in busy phases, the
-	// one that usually forbids jumping — check it before polling tickers.
-	if len(e.events) > 0 && e.events[0].cycle < target {
-		target = e.events[0].cycle
+	// The scheduler's NextDue is the cheapest bound and, in busy phases,
+	// the one that usually forbids jumping — check it before polling
+	// tickers.
+	if due := e.sched.NextDue(); due < target {
+		target = due
 	}
 	if e.sampleFn != nil && e.nextSample < target {
 		target = e.nextSample
@@ -373,10 +331,8 @@ func (e *Engine) tryJump(limit uint64) bool {
 		// A jump must never pass a due event or hook boundary: everything
 		// that can happen before the target is provably nothing.
 		check.Assert(target > e.now+1, "sim: jump to %d from %d saves nothing", target, e.now)
-		if len(e.events) > 0 {
-			check.Assert(e.events[0].cycle >= target,
-				"sim: jump to %d passes event due at %d", target, e.events[0].cycle)
-		}
+		check.Assert(e.sched.NextDue() >= target,
+			"sim: jump to %d passes event due at %d", target, e.sched.NextDue())
 		check.Assert(e.sampleFn == nil || e.nextSample >= target,
 			"sim: jump to %d passes sample boundary %d", target, e.nextSample)
 		check.Assert(e.intervalFn == nil || e.nextInterval >= target,
@@ -425,4 +381,4 @@ func (e *Engine) RunUntil(pred func() bool, maxCycles uint64) bool {
 }
 
 // Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.sched.Pending() }

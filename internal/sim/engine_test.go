@@ -209,22 +209,6 @@ func TestSamplerReEnableResetsPhase(t *testing.T) {
 	}
 }
 
-// BenchmarkEventHeapPushPop measures the event queue itself: schedule and
-// drain one event per iteration against a background of pending work, the
-// pattern every DRAM/cache callback follows.
-func BenchmarkEventHeapPushPop(b *testing.B) {
-	e := New()
-	for i := 0; i < 64; i++ {
-		e.Schedule(uint64(i%16)+1, func() {})
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Schedule(4, func() {})
-		e.Step()
-	}
-}
-
 func TestIntervalHook(t *testing.T) {
 	e := New()
 	var fired []uint64

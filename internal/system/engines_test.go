@@ -1,0 +1,74 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"nomad/internal/metrics"
+	"nomad/internal/sim"
+)
+
+// TestEngineByteIdentical is the scheduler-swap correctness contract: for
+// every scheme, with fast-forward both on and off, a run on the timing-wheel
+// engine must produce byte-for-byte the same metrics snapshot (counters,
+// timeline, trace summary) and the same Perfetto trace as the same run on
+// the binary-heap oracle. Together with TestFastForwardByteIdentical this
+// pins the full 2x2 engine/fast-forward matrix to one observable behaviour.
+func TestEngineByteIdentical(t *testing.T) {
+	for _, s := range AllSchemes() {
+		s := s
+		for _, ff := range []bool{true, false} {
+			ff := ff
+			t.Run(fmt.Sprintf("%s/ff=%v", s, ff), func(t *testing.T) {
+				run := func(kind sim.Kind) ([]byte, []byte) {
+					cfg := smallConfig(s)
+					cfg.Timeline = true
+					cfg.Interval = 20_000
+					cfg.TraceDepth = 1 << 12
+					cfg.SpanDepth = 1 << 11
+					cfg.FastForward = ff
+					cfg.Engine = kind
+					m, err := New(cfg, smallSpec())
+					if err != nil {
+						t.Fatalf("New(%s, %s): %v", s, kind, err)
+					}
+					if got := m.Engine().SchedulerImpl(); fmt.Sprintf("%T", got) == "*sim.HeapScheduler" != (kind == sim.KindHeap) {
+						t.Fatalf("engine %q built scheduler %T", kind, got)
+					}
+					r, err := m.Run()
+					if err != nil {
+						t.Fatalf("Run(%s, %s): %v", s, kind, err)
+					}
+					snap, err := json.Marshal(r.Metrics)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var trace bytes.Buffer
+					if err := metrics.WritePerfetto(&trace, metrics.PerfettoRun{Name: "eng", Dump: r.Trace}); err != nil {
+						t.Fatal(err)
+					}
+					return snap, trace.Bytes()
+				}
+				wheelSnap, wheelTrace := run(sim.KindWheel)
+				heapSnap, heapTrace := run(sim.KindHeap)
+				if !bytes.Equal(wheelSnap, heapSnap) {
+					t.Errorf("metrics snapshot differs between wheel and heap engines\nwheel: %.400s\nheap:  %.400s", wheelSnap, heapSnap)
+				}
+				if !bytes.Equal(wheelTrace, heapTrace) {
+					t.Error("Perfetto trace differs between wheel and heap engines")
+				}
+			})
+		}
+	}
+}
+
+// TestEngineUnknownKind pins the configuration error path.
+func TestEngineUnknownKind(t *testing.T) {
+	cfg := smallConfig(SchemeNOMAD)
+	cfg.Engine = "splay"
+	if _, err := New(cfg, smallSpec()); err == nil {
+		t.Fatal("unknown engine kind accepted")
+	}
+}

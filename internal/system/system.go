@@ -106,6 +106,11 @@ type Config struct {
 	// Timeline, traces) is byte-identical either way; DefaultConfig enables
 	// it, and the CLIs expose -no-ff to switch it off.
 	FastForward bool
+	// Engine selects the event-queue implementation driving the run:
+	// sim.KindWheel (the default timing wheel) or sim.KindHeap (the
+	// binary-heap oracle). Results are byte-identical across engines; the
+	// knob exists for differential testing and performance comparison.
+	Engine sim.Kind
 }
 
 // DefaultSpanSampleEvery is the span sampling period used when
@@ -161,6 +166,64 @@ type Machine struct {
 	phase       string
 	phaseBase   []uint64
 	phaseTarget uint64
+
+	// memOps is the freelist of pooled translate-then-access operations
+	// (port.Load / port.Store): the per-access TLB callback is a prebuilt
+	// closure on a recycled op, so the load/store hot path allocates
+	// nothing.
+	memOps []*memOp
+}
+
+// memOp is one pooled in-flight load or store, carried across the TLB
+// translation by its prebuilt fn callback.
+type memOp struct {
+	start  uint64
+	vaddr  uint64
+	probe  *mem.Probe
+	done   func()
+	coreID int
+	write  bool
+	fn     func(tlb.Entry)
+}
+
+// getMemOp takes a memOp from the freelist, building the instance (and its
+// permanent translate callback) only on first use.
+func (m *Machine) getMemOp() *memOp {
+	if n := len(m.memOps); n > 0 {
+		op := m.memOps[n-1]
+		m.memOps = m.memOps[:n-1]
+		return op
+	}
+	op := &memOp{} //nomadlint:ignore poolalloc -- freelist constructor: the one allocation the pool amortizes
+	op.fn = func(e tlb.Entry) { m.runMemOp(op, e) }
+	return op
+}
+
+// runMemOp continues a load/store after translation. The op is recycled
+// first (the L1 access may re-enter Load/Store synchronously), then the
+// request proceeds into the SRAM hierarchy.
+func (m *Machine) runMemOp(op *memOp, e tlb.Entry) {
+	start, vaddr, probe, done := op.start, op.vaddr, op.probe, op.done
+	coreID, write := op.coreID, op.write
+	op.probe, op.done = nil, nil
+	m.memOps = append(m.memOps, op)
+
+	addr := mem.TagSpace(mem.AddrInFrame(e.Frame, mem.PageOffset(vaddr)), e.Space)
+	if write {
+		m.scheme.NoteStore(coreID, e)
+		req := mem.Request{Addr: addr, Write: true, Core: coreID, Kind: mem.KindDemand}
+		m.l1s[coreID].Access(&req, nil)
+		return
+	}
+	if probe != nil {
+		probe.Cause = mem.StallSRAM
+		if probe.SpanID != 0 {
+			m.reg.Spans().Emit(metrics.Span{ID: probe.SpanID, Kind: metrics.SpanTLB,
+				Core: probe.Core, Start: start, End: m.eng.Now()})
+		}
+	}
+	req := mem.Request{Addr: addr, Core: coreID, Kind: mem.KindDemand, Probe: probe}
+	m.l1s[coreID].Access(&req, done)
 }
 
 // threadAdapter lets the OS front-end suspend cores without the core
@@ -200,31 +263,25 @@ type port struct {
 }
 
 func (p port) Load(coreID int, vaddr uint64, probe *mem.Probe, done func()) {
-	start := p.m.eng.Now()
 	if probe != nil {
 		probe.Cause = mem.StallTLB
 	}
-	p.m.tlbs[p.coreID].Translate(vaddr, func(e tlb.Entry) {
-		if probe != nil {
-			probe.Cause = mem.StallSRAM
-			if probe.SpanID != 0 {
-				p.m.reg.Spans().Emit(metrics.Span{ID: probe.SpanID, Kind: metrics.SpanTLB,
-					Core: probe.Core, Start: start, End: p.m.eng.Now()})
-			}
-		}
-		addr := mem.TagSpace(mem.AddrInFrame(e.Frame, mem.PageOffset(vaddr)), e.Space)
-		req := mem.Request{Addr: addr, Core: p.coreID, Kind: mem.KindDemand, Probe: probe}
-		p.m.l1s[p.coreID].Access(&req, done)
-	})
+	op := p.m.getMemOp()
+	op.start = p.m.eng.Now()
+	op.vaddr = vaddr
+	op.probe = probe
+	op.done = done
+	op.coreID = p.coreID
+	op.write = false
+	p.m.tlbs[p.coreID].Translate(vaddr, op.fn)
 }
 
 func (p port) Store(coreID int, vaddr uint64) {
-	p.m.tlbs[p.coreID].Translate(vaddr, func(e tlb.Entry) {
-		p.m.scheme.NoteStore(p.coreID, e)
-		addr := mem.TagSpace(mem.AddrInFrame(e.Frame, mem.PageOffset(vaddr)), e.Space)
-		req := mem.Request{Addr: addr, Write: true, Core: p.coreID, Kind: mem.KindDemand}
-		p.m.l1s[p.coreID].Access(&req, nil)
-	})
+	op := p.m.getMemOp()
+	op.vaddr = vaddr
+	op.coreID = p.coreID
+	op.write = true
+	p.m.tlbs[p.coreID].Translate(vaddr, op.fn)
 }
 
 // New builds a machine running spec on every core (rate mode, as in the
@@ -233,7 +290,11 @@ func New(cfg Config, spec workload.Spec) (*Machine, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("system: core count must be positive, got %d", cfg.Cores)
 	}
-	m := &Machine{cfg: cfg, workload: spec.Abbr, eng: sim.New()}
+	sched, err := sim.NewScheduler(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, workload: spec.Abbr, eng: sim.New(sim.WithScheduler(sched))}
 	m.eng.SetFastForward(cfg.FastForward)
 	m.hbm = dram.New(m.eng, cfg.HBM)
 	m.ddr = dram.New(m.eng, cfg.DDR)

@@ -142,11 +142,82 @@ type TLB struct {
 	dir    Directory
 	l1, l2 *level
 	// inFlight coalesces concurrent walks to the same VPN.
-	inFlight map[uint64][]func(Entry)
+	inFlight map[uint64]*walkOp
 	stats    Stats
 	// walkLat records page-table-walk latency per walk (nil until
 	// RegisterMetrics; Observe on nil is a no-op).
 	walkLat *metrics.Histogram
+	// hits is the freelist of pooled L2-hit completions (the deferred
+	// done(entry) call after the L2 latency), so L2 hits do not allocate.
+	hits []*hitOp
+	// walks is the freelist of pooled in-flight page-table walks.
+	walks []*walkOp
+}
+
+// hitOp is one pooled deferred L2-hit completion; fn is its permanent
+// scheduled callback.
+type hitOp struct {
+	e    Entry
+	done func(Entry)
+	fn   func()
+}
+
+// walkOp is one pooled in-flight page-table walk: the coalesced waiter list
+// plus the walk's permanent completion callback fn, built once per instance.
+type walkOp struct {
+	vpn     uint64
+	start   uint64
+	waiters []func(Entry)
+	fn      func(Entry)
+}
+
+func (t *TLB) getWalk() *walkOp {
+	if n := len(t.walks); n > 0 {
+		op := t.walks[n-1]
+		t.walks = t.walks[:n-1]
+		return op
+	}
+	op := &walkOp{} //nomadlint:ignore poolalloc -- freelist constructor: the one allocation the pool amortizes
+	op.fn = func(e Entry) { t.walkDone(op, e) }
+	return op
+}
+
+// walkDone completes a walk: install the entry, recycle the op, then fire
+// the coalesced waiters (release-before-callback: a waiter may start a new
+// walk and reuse the op; the waiter array is handed back afterwards if the
+// op is still unclaimed).
+func (t *TLB) walkDone(op *walkOp, e Entry) {
+	t.walkLat.Observe(t.eng.Now() - op.start)
+	t.install(e)
+	delete(t.inFlight, op.vpn)
+	ws := op.waiters
+	op.waiters = nil
+	t.walks = append(t.walks, op)
+	for i := range ws {
+		ws[i](e)
+	}
+	for i := range ws {
+		ws[i] = nil // release the done closures
+	}
+	if op.waiters == nil {
+		op.waiters = ws[:0]
+	}
+}
+
+func (t *TLB) getHit() *hitOp {
+	if n := len(t.hits); n > 0 {
+		op := t.hits[n-1]
+		t.hits = t.hits[:n-1]
+		return op
+	}
+	op := &hitOp{} //nomadlint:ignore poolalloc -- freelist constructor: the one allocation the pool amortizes
+	op.fn = func() {
+		e, done := op.e, op.done
+		op.done = nil
+		t.hits = append(t.hits, op)
+		done(e)
+	}
+	return op
 }
 
 // New builds a TLB for the given core. dir may be nil.
@@ -159,7 +230,7 @@ func New(eng *sim.Engine, core int, cfg Config, walker Walker, dir Directory) *T
 		dir:      dir,
 		l1:       newLevel(cfg.L1Entries),
 		l2:       newLevel(cfg.L2Entries),
-		inFlight: make(map[uint64][]func(Entry)),
+		inFlight: make(map[uint64]*walkOp),
 	}
 }
 
@@ -192,26 +263,24 @@ func (t *TLB) Translate(vaddr uint64, done func(Entry)) {
 		t.stats.L2Hits++
 		e := s.e
 		t.insertL1(e)
-		t.eng.Schedule(t.cfg.L2Latency, func() { done(e) })
+		op := t.getHit()
+		op.e = e
+		op.done = done
+		t.eng.Schedule(t.cfg.L2Latency, op.fn)
 		return
 	}
-	if waiters, ok := t.inFlight[vpn]; ok {
+	if op, ok := t.inFlight[vpn]; ok {
 		t.stats.Coalesced++
-		t.inFlight[vpn] = append(waiters, done)
+		op.waiters = append(op.waiters, done)
 		return
 	}
 	t.stats.Misses++
-	t.inFlight[vpn] = []func(Entry){done}
-	walkStart := t.eng.Now()
-	t.walker.Walk(t.core, vaddr, func(e Entry) {
-		t.walkLat.Observe(t.eng.Now() - walkStart)
-		t.install(e)
-		waiters := t.inFlight[vpn]
-		delete(t.inFlight, vpn)
-		for _, w := range waiters {
-			w(e)
-		}
-	})
+	op := t.getWalk()
+	op.vpn = vpn
+	op.start = t.eng.Now()
+	op.waiters = append(op.waiters, done)
+	t.inFlight[vpn] = op
+	t.walker.Walk(t.core, vaddr, op.fn)
 }
 
 // install puts a walked entry into both levels, maintaining inclusion and

@@ -49,121 +49,6 @@ func Schemes() []Scheme {
 	return []Scheme{SchemeBaseline, SchemeTiD, SchemeTDC, SchemeNOMAD, SchemeIdeal}
 }
 
-// Config parameterises a simulation. The zero value (plus a Scheme) selects
-// the paper's evaluation configuration at the scaled capacities documented
-// in DESIGN.md.
-type Config struct {
-	// Scheme under test; defaults to NOMAD.
-	Scheme Scheme
-	// Cores in the chip multiprocessor; defaults to 8.
-	Cores int
-	// PCSHRs in the NOMAD back-end; defaults to 16.
-	PCSHRs int
-	// CopyBuffers in the NOMAD back-end; 0 pairs one buffer per PCSHR.
-	// Fewer buffers than PCSHRs selects the area-optimized design.
-	CopyBuffers int
-	// DistributedBackends partitions the back-end per HBM channel.
-	DistributedBackends bool
-	// TagMgmtLatency is the NOMAD tag-miss handler critical-section
-	// occupancy in cycles; defaults to the paper's conservative 400.
-	TagMgmtLatency uint64
-	// VerifyLatency adds cycles to every DC access for the PCSHR lookup
-	// (0 per the paper's CACTI analysis; set 1 for the sensitivity study).
-	VerifyLatency uint64
-	// CacheTouchThreshold enables selective caching for OS-managed
-	// schemes: a page is cached only on its Nth uncached page-table walk.
-	// 0 or 1 caches on first touch (the paper's default).
-	CacheTouchThreshold uint64
-	// WarmupInstructions / ROIInstructions are per-core retirement
-	// targets; zero selects the defaults.
-	WarmupInstructions uint64
-	ROIInstructions    uint64
-	// Seed perturbs workload address streams deterministically.
-	Seed uint64
-	// TraceDepth, when positive, records the last TraceDepth machine
-	// events (tag misses, PCSHR fills/writebacks, row conflicts) of the
-	// ROI; SpanDepth likewise records per-access latency spans for
-	// 1-in-SpanSampleEvery loads per core (0 samples 1 in 64). A run with
-	// either enabled exposes the capture through Result.WriteTrace and
-	// summarises it in Snapshot.Trace.
-	TraceDepth      int
-	SpanDepth       int
-	SpanSampleEvery uint64
-	// Timeline enables interval time-series telemetry: every
-	// TimelineInterval cycles of the measured region (default 100k), a set
-	// of registry metrics — per-core IPC, DC hit rate, PCSHR occupancy
-	// high-water, HBM/DDR bandwidth by category, row-buffer conflict rate,
-	// MSHR occupancy — is snapshotted into windowed columns, exposed via
-	// Result.Timeline(), Snapshot.Timeline, and (with WriteTrace) Perfetto
-	// counter tracks. The first window starts exactly at ROI cycle 0 and
-	// the capture is deterministic: same-seed runs marshal byte-identical
-	// timelines.
-	Timeline bool
-	// TimelineInterval is the window length in cycles; 0 selects 100_000.
-	TimelineInterval uint64
-	// TimelineMetrics restricts the collected columns to names matching
-	// these prefixes (e.g. "core.", "hbm.gbs."); empty collects all.
-	TimelineMetrics []string
-	// SelfProfile samples the simulator's own host-side performance —
-	// wall-clock simulated-cycles/sec, events/sec, heap-in-use, GC pauses
-	// — into Result.Host(). Host readings are inherently non-deterministic
-	// and are never part of the metrics snapshot.
-	SelfProfile bool
-	// NoFastForward disables the engine's idle-cycle fast-forward (on by
-	// default), forcing every cycle to be stepped individually. Results
-	// are byte-identical either way; the switch exists for debugging and
-	// for measuring the speedup. With SelfProfile set,
-	// Host().SkippedCycles reports how much a fast-forwarded run skipped.
-	NoFastForward bool
-}
-
-func (c Config) effectiveScheme() Scheme {
-	if c.Scheme == "" {
-		return SchemeNOMAD
-	}
-	return c.Scheme
-}
-
-func (c Config) toInternal() system.Config {
-	cfg := system.DefaultConfig()
-	if c.Scheme != "" {
-		cfg.Scheme = system.SchemeName(c.Scheme)
-	}
-	if c.Cores > 0 {
-		cfg.Cores = c.Cores
-	}
-	if c.PCSHRs > 0 {
-		cfg.Backend.PCSHRs = c.PCSHRs
-	}
-	if c.CopyBuffers > 0 {
-		cfg.Backend.CopyBuffers = c.CopyBuffers
-	}
-	cfg.Backend.Distributed = c.DistributedBackends
-	if c.TagMgmtLatency > 0 {
-		cfg.Frontend.TagMgmtLatency = c.TagMgmtLatency
-	}
-	cfg.Backend.VerifyLatency = c.VerifyLatency
-	cfg.Frontend.CacheTouchThreshold = c.CacheTouchThreshold
-	if c.WarmupInstructions > 0 {
-		cfg.WarmupInstructions = c.WarmupInstructions
-	}
-	if c.ROIInstructions > 0 {
-		cfg.ROIInstructions = c.ROIInstructions
-	}
-	if c.Seed > 0 {
-		cfg.Seed = c.Seed
-	}
-	cfg.TraceDepth = c.TraceDepth
-	cfg.SpanDepth = c.SpanDepth
-	cfg.SpanSampleEvery = c.SpanSampleEvery
-	cfg.Timeline = c.Timeline
-	cfg.Interval = c.TimelineInterval
-	cfg.TimelineMetrics = c.TimelineMetrics
-	cfg.SelfProfile = c.SelfProfile
-	cfg.FastForward = !c.NoFastForward
-	return cfg
-}
-
 // Workload is one benchmark surrogate (Table I) or a custom stream
 // definition.
 type Workload struct {
@@ -288,6 +173,10 @@ func Run(cfg Config, w Workload) (*Result, error) {
 func RunContext(ctx context.Context, cfg Config, w Workload) (*Result, error) {
 	fail := func(op string, err error) error {
 		return &Error{Op: op, Scheme: cfg.effectiveScheme(), Workload: w.Abbr(), Err: err}
+	}
+	if verr := cfg.Validate(); verr != nil {
+		verr.Workload = w.Abbr()
+		return nil, verr
 	}
 	m, err := system.New(cfg.toInternal(), w.spec)
 	if err != nil {
