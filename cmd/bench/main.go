@@ -33,6 +33,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -45,6 +48,9 @@ import (
 
 	"nomad"
 	"nomad/internal/cliflags"
+	"nomad/internal/obs"
+	"nomad/internal/system"
+	"nomad/internal/workload"
 )
 
 // Schema identifies the BENCH JSON layout; bump only with a migration note
@@ -63,6 +69,9 @@ type File struct {
 	Host      string    `json:"host"`
 	E2E       []E2E     `json:"e2e"`
 	Timeline  *Overhead `json:"timeline_overhead,omitempty"`
+	// Obs measures the live-observation slowdown (absent only on schema-old
+	// baselines).
+	Obs *ObsOverhead `json:"obs_overhead,omitempty"`
 	// FastForward measures the idle-cycle fast-forward speedup on one
 	// blocking OS-managed scheme (absent when bench ran with -no-ff).
 	FastForward *FFSpeedup `json:"fast_forward,omitempty"`
@@ -90,6 +99,18 @@ type Overhead struct {
 	TimelineCyclesPerSec float64 `json:"timeline_cycles_per_sec"`
 	// OverheadPct is the relative slowdown in percent; negative means the
 	// timeline run happened to be faster (noise).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// ObsOverhead is the live-observation slowdown measurement: the same run
+// bare and with an obs.RunTracker attached plus an introspection server
+// being scraped throughout, best-of-N cycles/sec each. The acceptance bar
+// is under 1% — observation must be effectively free.
+type ObsOverhead struct {
+	BaseCyclesPerSec     float64 `json:"base_cycles_per_sec"`
+	ObservedCyclesPerSec float64 `json:"observed_cycles_per_sec"`
+	// OverheadPct is the relative slowdown in percent; negative means the
+	// observed run happened to be faster (noise).
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
@@ -125,6 +146,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	logger := cf.Logger(os.Stderr)
+	// -http serves live host metrics and pprof while bench runs; the
+	// observation-overhead measurement below always builds its own private
+	// server so the measurement is self-contained.
+	cf.StartObs(logger)
 	cf.StartPprof(os.Stderr)
 
 	f := &File{
@@ -134,55 +160,69 @@ func main() {
 		Host:      runtime.GOOS + "/" + runtime.GOARCH,
 	}
 
-	fmt.Fprintf(os.Stderr, "bench: end-to-end throughput (%d reps per scheme)\n", *reps)
+	logger.Info("end-to-end throughput", "reps", *reps)
 	for _, scheme := range nomad.Schemes() {
 		e, err := runE2E(cf, scheme, *reps)
 		if err != nil {
 			fatal("e2e %s: %v", scheme, err)
 		}
 		f.E2E = append(f.E2E, e)
-		fmt.Fprintf(os.Stderr, "  %-14s %8.2f Mcyc/s  %8.2f Mevents/s  heap %5.1f MB  skip %4.1f%%\n",
-			e.Name, e.SimCyclesPerSec/1e6, e.EventsPerSec/1e6, float64(e.PeakHeapBytes)/(1024*1024), 100*e.SkipRatio)
+		logger.Info("e2e", "run", e.Name,
+			"mcyc_per_sec", round2(e.SimCyclesPerSec/1e6),
+			"mevents_per_sec", round2(e.EventsPerSec/1e6),
+			"peak_heap_mb", round2(float64(e.PeakHeapBytes)/(1024*1024)),
+			"skip_pct", round2(100*e.SkipRatio))
 	}
 
-	fmt.Fprintln(os.Stderr, "bench: timeline overhead")
 	ov, err := runOverhead(cf, *reps)
 	if err != nil {
 		fatal("timeline overhead: %v", err)
 	}
 	f.Timeline = ov
-	fmt.Fprintf(os.Stderr, "  base %.2f Mcyc/s, timeline %.2f Mcyc/s, overhead %.2f%%\n",
-		ov.BaseCyclesPerSec/1e6, ov.TimelineCyclesPerSec/1e6, ov.OverheadPct)
+	logger.Info("timeline overhead",
+		"base_mcyc_per_sec", round2(ov.BaseCyclesPerSec/1e6),
+		"timeline_mcyc_per_sec", round2(ov.TimelineCyclesPerSec/1e6),
+		"overhead_pct", round2(ov.OverheadPct))
+
+	oo, err := runObsOverhead(cf, *reps)
+	if err != nil {
+		fatal("observation overhead: %v", err)
+	}
+	f.Obs = oo
+	logger.Info("observation overhead",
+		"base_mcyc_per_sec", round2(oo.BaseCyclesPerSec/1e6),
+		"observed_mcyc_per_sec", round2(oo.ObservedCyclesPerSec/1e6),
+		"overhead_pct", round2(oo.OverheadPct))
 
 	if !cf.NoFF {
-		fmt.Fprintln(os.Stderr, "bench: fast-forward speedup")
 		sp, err := runFFSpeedup(cf, *reps)
 		if err != nil {
 			fatal("fast-forward speedup: %v", err)
 		}
 		f.FastForward = sp
-		fmt.Fprintf(os.Stderr, "  %s: ff on %.2f Mcyc/s, ff off %.2f Mcyc/s, speedup %.2fx\n",
-			sp.Scheme, sp.OnCyclesPerSec/1e6, sp.OffCyclesPerSec/1e6, sp.Speedup)
+		logger.Info("fast-forward speedup", "scheme", sp.Scheme,
+			"on_mcyc_per_sec", round2(sp.OnCyclesPerSec/1e6),
+			"off_mcyc_per_sec", round2(sp.OffCyclesPerSec/1e6),
+			"speedup", round2(sp.Speedup))
 	}
 
 	if *gobench != "" {
-		fmt.Fprintf(os.Stderr, "bench: go test -bench %s\n", *gobench)
+		logger.Info("go test -bench", "pattern", *gobench)
 		gb, err := runGoBench(*gobench)
 		if err != nil {
 			fatal("gobench: %v", err)
 		}
 		f.GoBench = gb
 		for _, b := range gb {
-			fmt.Fprintf(os.Stderr, "  %-40s %12.0f ns/op\n", b.Name, b.NsPerOp)
+			logger.Info("gobench", "name", b.Name, "ns_per_op", b.NsPerOp)
 		}
 	}
 
 	if cf.Trace != "" {
-		fmt.Fprintln(os.Stderr, "bench: perfetto trace run")
 		if err := writeTraceRun(cf); err != nil {
 			fatal("trace: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "  wrote Perfetto trace to %s — open at https://ui.perfetto.dev\n", cf.Trace)
+		logger.Info("wrote Perfetto trace — open at https://ui.perfetto.dev", "path", cf.Trace)
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -193,7 +233,7 @@ func main() {
 	if err := writeFile(outPath, f); err != nil {
 		fatal("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", outPath)
+	logger.Info("wrote BENCH file", "path", outPath)
 
 	// Summary is the stdout rendering: a note when no baseline exists, the
 	// per-metric comparison otherwise — as text lines or (with -format
@@ -295,6 +335,10 @@ func writeTraceRun(cf *cliflags.Common) error {
 	}
 	return out.Close()
 }
+
+// round2 trims measurement floats to two decimals so log records stay
+// readable in both text and JSON encodings.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
 
 func fatal(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
@@ -413,6 +457,106 @@ func runOverhead(cf *cliflags.Common, reps int) (*Overhead, error) {
 	return ov, nil
 }
 
+// runObsOverhead measures the live-observation slowdown: NOMAD on cactusADM
+// bare versus registered with an obs.RunTracker whose introspection server
+// is scraped (GET /metrics + /runs) throughout the run, best-of-reps
+// cycles/sec each. It builds a private server on a loopback port so the
+// measurement covers the full observation path without needing -http.
+func runObsOverhead(cf *cliflags.Common, reps int) (*ObsOverhead, error) {
+	sp, ok := workload.ByAbbr("cact")
+	if !ok {
+		return nil, fmt.Errorf("workload cact not found")
+	}
+	cfg := system.DefaultConfig()
+	cfg.Scheme = system.SchemeNOMAD
+	cfg.WarmupInstructions = 1
+	cfg.ROIInstructions = benchROI
+	cfg.Engine = cf.Kind()
+	cfg.FastForward = !cf.NoFF
+	cfg.SelfProfile = true
+
+	measure := func(tracker *obs.RunTracker, rep int) (float64, error) {
+		m, err := system.New(cfg, sp)
+		if err != nil {
+			return 0, err
+		}
+		if tracker != nil {
+			h := tracker.Start(fmt.Sprintf("bench/obs/%d", rep), obs.NewManifest(cfg, sp))
+			reg := m.Metrics()
+			m.SetProgress(func(p system.Progress) { h.Observe(p, reg) })
+			defer h.Finish()
+		}
+		r, err := m.Run()
+		if err != nil {
+			return 0, err
+		}
+		if r.Host == nil {
+			return 0, fmt.Errorf("run returned no host profile")
+		}
+		return r.Host.SimCyclesPerSec, nil
+	}
+	best := func(tracker *obs.RunTracker) (float64, error) {
+		var b float64
+		for i := 0; i < reps; i++ {
+			c, err := measure(tracker, i)
+			if err != nil {
+				return 0, err
+			}
+			if c > b {
+				b = c
+			}
+		}
+		return b, nil
+	}
+
+	base, err := best(nil)
+	if err != nil {
+		return nil, err
+	}
+
+	tracker := obs.NewRunTracker()
+	addr, err := obs.NewServer(tracker).Start("127.0.0.1:0", func(error) {})
+	if err != nil {
+		return nil, err
+	}
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		client := &http.Client{Timeout: time.Second}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/runs"} {
+				resp, err := client.Get("http://" + addr.String() + path)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			// The tracker refreshes registry snapshots at most every
+			// 500 ms, so scraping faster only re-reads unchanged data;
+			// this matches a live dashboard's cadence.
+			time.Sleep(500 * time.Millisecond)
+		}
+	}()
+	observed, err := best(tracker)
+	close(stop)
+	<-scraped
+	if err != nil {
+		return nil, err
+	}
+
+	ov := &ObsOverhead{BaseCyclesPerSec: base, ObservedCyclesPerSec: observed}
+	if base > 0 {
+		ov.OverheadPct = 100 * (base - observed) / base
+	}
+	return ov, nil
+}
+
 // runGoBench shells out to the Go toolchain for the package benchmarks and
 // parses the standard -bench output.
 func runGoBench(pattern string) ([]GoBench, error) {
@@ -500,6 +644,9 @@ func Compare(prev, cur *File, threshold float64) []Delta {
 		// The overhead itself is a lower-is-better percentage; compare the
 		// absolute timeline-on throughput, which is what users experience.
 		higherBetter("timeline cycles/s", prev.Timeline.TimelineCyclesPerSec, cur.Timeline.TimelineCyclesPerSec)
+	}
+	if prev.Obs != nil && cur.Obs != nil {
+		higherBetter("observed cycles/s", prev.Obs.ObservedCyclesPerSec, cur.Obs.ObservedCyclesPerSec)
 	}
 	if prev.FastForward != nil && cur.FastForward != nil && prev.FastForward.Scheme == cur.FastForward.Scheme {
 		// Gate on the absolute fast-forwarded throughput. The on/off ratio

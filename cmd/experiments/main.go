@@ -72,12 +72,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	logger := cf.Logger(os.Stderr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	opts := harness.Options{
-		Fast: *fast, Parallelism: *parallel, Verbose: *verbose, Log: os.Stderr,
+		Fast: *fast, Parallelism: *parallel, Verbose: *verbose, Logger: logger,
 	}
 	cf.ApplyOptions(&opts)
 	if *progress {
@@ -85,6 +86,7 @@ func main() {
 			return system.ProgressPrinter(os.Stderr, key)
 		}
 	}
+	opts.Tracker = cf.StartObs(logger)
 	cf.StartPprof(os.Stderr)
 	var exps []harness.Experiment
 	if *runIDs == "all" {
@@ -120,7 +122,7 @@ func main() {
 			fail("%s failed: %v", e.ID, err)
 		}
 		for _, warn := range rep.Warnings {
-			fmt.Fprintf(os.Stderr, "warning: %s: %s\n", e.ID, warn)
+			logger.Warn("data-quality warning", "experiment", e.ID, "detail", warn)
 		}
 		traceRuns = append(traceRuns, collectTraces(e.ID, rep)...)
 		elapsed := time.Since(start).Round(time.Millisecond)
@@ -134,14 +136,14 @@ func main() {
 			if err := writeCSV(os.Stdout, rep); err != nil {
 				fail("%s: %v", e.ID, err)
 			}
-			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, elapsed)
+			logger.Info("experiment complete", "experiment", e.ID, "elapsed", elapsed.String())
 		case "json":
 			// Streamed: one document per completed experiment, so output
 			// survives cancellation mid-batch.
 			if err := enc.Encode(rep); err != nil {
 				fail("%s: encode: %v", e.ID, err)
 			}
-			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, elapsed)
+			logger.Info("experiment complete", "experiment", e.ID, "elapsed", elapsed.String())
 		}
 	}
 	if err := flushTrace(cf.Trace, traceRuns); err != nil {
@@ -190,7 +192,9 @@ func flushTrace(path string, runs []metrics.PerfettoRun) error {
 
 // writeCSV flattens every table of the report: each table emits its header
 // and rows, all prefixed with the experiment ID and section index so several
-// tables (and experiments) concatenate into one parseable stream.
+// tables (and experiments) concatenate into one parseable stream. A trailing
+// "manifest" section lists each run's content address and wall-clock
+// duration.
 func writeCSV(w io.Writer, rep *harness.Report) error {
 	cw := csv.NewWriter(w)
 	for si, sec := range rep.Sections {
@@ -202,6 +206,26 @@ func writeCSV(w io.Writer, rep *harness.Report) error {
 		}
 		for _, row := range sec.Table.Rows {
 			if err := cw.Write(append([]string{rep.ID, strconv.Itoa(si)}, row...)); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rep.Manifests) > 0 {
+		if err := cw.Write([]string{"experiment", "section", "run", "manifest", "run_seconds"}); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(rep.Manifests))
+		for k := range rep.Manifests {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			addr := ""
+			if m := rep.Manifests[k]; m != nil {
+				addr = m.Address
+			}
+			secs := strconv.FormatFloat(rep.RunSeconds[k], 'f', 3, 64)
+			if err := cw.Write([]string{rep.ID, "manifest", k, addr, secs}); err != nil {
 				return err
 			}
 		}

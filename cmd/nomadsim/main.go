@@ -19,6 +19,7 @@ import (
 	"nomad/internal/cliflags"
 	"nomad/internal/mem"
 	"nomad/internal/metrics"
+	"nomad/internal/obs"
 	"nomad/internal/schemes"
 	"nomad/internal/system"
 	"nomad/internal/workload"
@@ -47,6 +48,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	logger := cf.Logger(os.Stderr)
 
 	if *list {
 		fmt.Printf("%-6s %-12s %-7s %-9s %s\n", "abbr", "name", "class", "suite", "footprint")
@@ -85,6 +87,7 @@ func main() {
 	}
 	cfg.Frontend.CacheTouchThreshold = *touch
 	cf.ApplySystem(&cfg)
+	tracker := cf.StartObs(logger)
 	cf.StartPprof(os.Stderr)
 
 	m, err := system.New(cfg, sp)
@@ -92,10 +95,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *progress {
-		m.SetProgress(system.ProgressPrinter(os.Stderr, sp.Abbr))
+	man := obs.NewManifest(cfg, sp)
+	key := *scheme + "/" + sp.Abbr
+	h := tracker.Start(key, man) // nil-safe: nil tracker, nil handle
+	if *progress || h != nil {
+		var printFn func(system.Progress)
+		if *progress {
+			printFn = system.ProgressPrinter(os.Stderr, sp.Abbr)
+		}
+		reg := m.Metrics()
+		m.SetProgress(func(p system.Progress) {
+			if printFn != nil {
+				printFn(p)
+			}
+			h.Observe(p, reg)
+		})
 	}
 	r, err := m.Run()
+	h.Finish()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -103,12 +120,12 @@ func main() {
 
 	if t := r.Metrics.Trace; t != nil {
 		if t.EventsDropped > 0 {
-			fmt.Fprintf(os.Stderr, "warning: event ring dropped %d of %d events; raise trace depth for full coverage\n",
-				t.EventsDropped, t.EventsDropped+t.Events)
+			logger.Warn("event ring dropped events; raise trace depth for full coverage",
+				"dropped", t.EventsDropped, "total", t.EventsDropped+t.Events)
 		}
 		if t.SpansDropped > 0 {
-			fmt.Fprintf(os.Stderr, "warning: span ring dropped %d of %d spans; raise span depth or sampling period\n",
-				t.SpansDropped, t.SpansDropped+t.Spans)
+			logger.Warn("span ring dropped spans; raise span depth or sampling period",
+				"dropped", t.SpansDropped, "total", t.SpansDropped+t.Spans)
 		}
 	}
 
@@ -133,13 +150,20 @@ func main() {
 	if *asJSON || cf.Format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(r); err != nil {
+		// The deterministic result plus the host-side manifest, as sibling
+		// fields: "result" stays byte-identical across same-seed runs.
+		doc := struct {
+			Result   *system.Result `json:"result"`
+			Manifest *obs.Manifest  `json:"manifest"`
+		}{r, man}
+		if err := enc.Encode(doc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
 
+	fmt.Printf("manifest            %s\n", man.Address)
 	fmt.Printf("scheme              %s\n", r.Scheme)
 	fmt.Printf("workload            %s (%s, %s)\n", sp.Name, sp.Abbr, sp.Class)
 	fmt.Printf("cores               %d\n", r.Cores)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 
 	"nomad/internal/harness"
 )
@@ -20,7 +21,8 @@ type ExperimentOptions struct {
 	Fast bool
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
-	// Verbose emits each run's summary line to Log.
+	// Verbose emits each run's summary line to Log as structured (slog
+	// text) records.
 	Verbose bool
 	// Log receives verbose progress output. Nil discards it, except under
 	// RunExperiment, which defaults Log to its output writer.
@@ -69,6 +71,10 @@ type ExperimentResult struct {
 	// Warnings flags data-quality issues in the underlying runs, currently
 	// trace/span ring drops; empty means every capture is complete.
 	Warnings []string
+	// RunSeconds maps each run key to its host-side wall-clock duration.
+	// Non-deterministic by nature; the per-run Results stay byte-identical
+	// across same-seed invocations.
+	RunSeconds map[string]float64
 
 	rep *harness.Report
 }
@@ -99,11 +105,15 @@ func RunExperimentResult(ctx context.Context, id string, opts ExperimentOptions)
 	if !ok {
 		return nil, fmt.Errorf("nomad: unknown experiment %q", id)
 	}
+	var logger *slog.Logger
+	if opts.Log != nil {
+		logger = slog.New(slog.NewTextHandler(opts.Log, nil))
+	}
 	rep, err := e.Run(ctx, harness.Options{
 		Fast:            opts.Fast,
 		Parallelism:     opts.Parallelism,
 		Verbose:         opts.Verbose,
-		Log:             opts.Log,
+		Logger:          logger,
 		TraceDepth:      opts.TraceDepth,
 		SpanDepth:       opts.SpanDepth,
 		SpanSampleEvery: opts.SpanSampleEvery,
@@ -135,7 +145,10 @@ func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
 }
 
 func fromReport(rep *harness.Report) *ExperimentResult {
-	out := &ExperimentResult{ID: rep.ID, Title: rep.Title, Warnings: rep.Warnings, rep: rep}
+	out := &ExperimentResult{
+		ID: rep.ID, Title: rep.Title, Warnings: rep.Warnings,
+		RunSeconds: rep.RunSeconds, rep: rep,
+	}
 	for _, sec := range rep.Sections {
 		s := ExperimentSection{Notes: sec.Notes}
 		if sec.Table != nil {
@@ -146,7 +159,9 @@ func fromReport(rep *harness.Report) *ExperimentResult {
 	if len(rep.Runs) > 0 {
 		out.Runs = make(map[string]*Result, len(rep.Runs))
 		for k, r := range rep.Runs {
-			out.Runs[k] = fromInternal(r)
+			res := fromInternal(r.Result)
+			res.manifest = fromObsManifest(r.Manifest)
+			out.Runs[k] = res
 		}
 	}
 	return out

@@ -9,11 +9,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"strings"
 
 	"nomad/internal/harness"
+	"nomad/internal/obs"
 	"nomad/internal/sim"
 	"nomad/internal/system"
 )
@@ -49,6 +52,12 @@ type Common struct {
 	Format string
 	// Pprof is the net/http/pprof listen address (-pprof, "" = off).
 	Pprof string
+	// HTTP is the introspection-server listen address (-http, "" = off):
+	// /metrics, /runs, /runs/{key}/timeline, /debug/pprof.
+	HTTP string
+	// LogFormat selects the slog handler for host-side structured output
+	// (-log-format): "text" or "json".
+	LogFormat string
 }
 
 // Register installs the shared flags on fs and returns the struct their
@@ -64,6 +73,8 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.Engine, "engine", "", "event-queue implementation: wheel (default) or heap (the differential-testing oracle)")
 	fs.StringVar(&c.Format, "format", "text", "output format")
 	fs.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
+	fs.StringVar(&c.HTTP, "http", "", "serve live introspection on this address (e.g. :6060): /metrics, /runs, /runs/{key}/timeline, /debug/pprof")
+	fs.StringVar(&c.LogFormat, "log-format", "text", "structured log format for warnings and progress: text or json")
 	return c
 }
 
@@ -73,6 +84,14 @@ func Register(fs *flag.FlagSet) *Common {
 func (c *Common) Check(formats ...string) error {
 	if _, err := sim.NewScheduler(sim.Kind(c.Engine)); err != nil {
 		return fmt.Errorf("-engine %q: use %q or %q", c.Engine, sim.KindWheel, sim.KindHeap)
+	}
+	if c.HTTP != "" {
+		if _, _, err := net.SplitHostPort(c.HTTP); err != nil {
+			return fmt.Errorf("-http %q: want host:port or :port", c.HTTP)
+		}
+	}
+	if c.LogFormat != "text" && c.LogFormat != "json" {
+		return fmt.Errorf("-log-format %q: use text or json", c.LogFormat)
 	}
 	for _, f := range formats {
 		if c.Format == f {
@@ -120,6 +139,36 @@ func (c *Common) ApplyOptions(o *harness.Options) {
 	o.SelfProfile = c.Profile
 	o.NoFastForward = c.NoFF
 	o.Engine = c.Kind()
+}
+
+// Logger builds the host-side structured logger writing to w in the
+// -log-format encoding. Call after Check.
+func (c *Common) Logger(w io.Writer) *slog.Logger {
+	if c.LogFormat == "json" {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
+// StartObs starts the live introspection server when -http was given and
+// returns the run tracker feeding it; with -http unset it returns nil, which
+// every obs consumer treats as "observation off". Serve errors and the bound
+// address go through log.
+func (c *Common) StartObs(log *slog.Logger) *obs.RunTracker {
+	if c.HTTP == "" {
+		return nil
+	}
+	tracker := obs.NewRunTracker()
+	srv := obs.NewServer(tracker)
+	addr, err := srv.Start(c.HTTP, func(err error) {
+		log.Error("introspection server failed", "err", err)
+	})
+	if err != nil {
+		log.Error("introspection server failed to listen", "addr", c.HTTP, "err", err)
+		return nil
+	}
+	log.Info("introspection server listening", "addr", addr.String())
+	return tracker
 }
 
 // StartPprof starts the net/http/pprof server when -pprof was given; serve

@@ -268,19 +268,19 @@ func TestBaseConfigCarriesTelemetryOptions(t *testing.T) {
 }
 
 func TestDropWarnings(t *testing.T) {
-	mk := func(evDrop, spDrop uint64) *system.Result {
-		return &system.Result{Metrics: &metrics.Snapshot{
+	mk := func(evDrop, spDrop uint64) *RunResult {
+		return &RunResult{Result: &system.Result{Metrics: &metrics.Snapshot{
 			Trace: &metrics.TraceSummary{
 				Events: 10, EventsDropped: evDrop,
 				Spans: 20, SpansDropped: spDrop,
 			},
-		}}
+		}}}
 	}
 	res := Results{
 		"b/clean":   mk(0, 0),
 		"a/events":  mk(5, 0),
 		"c/spans":   mk(0, 3),
-		"d/notrace": {Metrics: &metrics.Snapshot{}},
+		"d/notrace": {Result: &system.Result{Metrics: &metrics.Snapshot{}}},
 	}
 	warns := dropWarnings(res)
 	if len(warns) != 2 {
@@ -296,9 +296,9 @@ func TestDropWarnings(t *testing.T) {
 }
 
 func TestNewReportAttachesWarnings(t *testing.T) {
-	res := Results{"k": &system.Result{Metrics: &metrics.Snapshot{
+	res := Results{"k": &RunResult{Result: &system.Result{Metrics: &metrics.Snapshot{
 		Trace: &metrics.TraceSummary{Events: 1, EventsDropped: 2},
-	}}}
+	}}}}
 	rep := newReport("fig2", res)
 	if len(rep.Warnings) != 1 || !strings.Contains(rep.Warnings[0], "k:") {
 		t.Fatalf("warnings = %v", rep.Warnings)

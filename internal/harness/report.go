@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"nomad/internal/obs"
 )
 
 // Report is the structured output of one experiment: the sections the text
@@ -20,6 +22,15 @@ type Report struct {
 	// trace/span ring drops (the capture lost its oldest entries). Sorted by
 	// run key; empty means every capture is complete.
 	Warnings []string `json:"warnings,omitempty"`
+	// Manifests maps each run key to its content-addressed manifest
+	// (config + workload + build stamp; see obs.Manifest). Host-side
+	// metadata: it rides next to the runs rather than inside them so
+	// Report.Runs stays exactly the deterministic simulation output.
+	Manifests map[string]*obs.Manifest `json:"manifests,omitempty"`
+	// RunSeconds maps each run key to its wall-clock duration. Host-side
+	// and non-deterministic by nature — the one Report field that differs
+	// between two same-seed invocations.
+	RunSeconds map[string]float64 `json:"run_seconds,omitempty"`
 }
 
 // Section is one block of a report: commentary lines followed by an optional
@@ -29,9 +40,23 @@ type Section struct {
 	Table *Table   `json:"table,omitempty"`
 }
 
-// newReport starts a report for the registered experiment id.
+// newReport starts a report for the registered experiment id, lifting each
+// run's host-side metadata (manifest, wall-clock duration) into the report
+// maps.
 func newReport(id string, res Results) *Report {
-	return &Report{ID: id, Title: registry[id].Title, Runs: res, Warnings: dropWarnings(res)}
+	rep := &Report{ID: id, Title: registry[id].Title, Runs: res, Warnings: dropWarnings(res)}
+	if len(res) > 0 {
+		rep.Manifests = make(map[string]*obs.Manifest, len(res))
+		rep.RunSeconds = make(map[string]float64, len(res))
+		for k, r := range res {
+			if r == nil {
+				continue
+			}
+			rep.Manifests[k] = r.Manifest
+			rep.RunSeconds[k] = r.WallSeconds
+		}
+	}
+	return rep
 }
 
 // dropWarnings scans run snapshots for ring-buffer overwrites: a dropped

@@ -12,11 +12,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"nomad/internal/obs"
 	"nomad/internal/sim"
 	"nomad/internal/system"
 	"nomad/internal/workload"
@@ -29,10 +31,12 @@ type Options struct {
 	Fast bool
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
-	// Verbose prints each run's one-line summary to Log.
+	// Verbose emits each run's one-line summary through Logger.
 	Verbose bool
-	// Log receives verbose progress output (nil discards it).
-	Log io.Writer
+	// Logger receives host-side structured output (verbose run summaries);
+	// nil discards it. Host-side only: nothing logged here derives from or
+	// feeds back into simulation state.
+	Logger *slog.Logger
 	// TraceDepth/SpanDepth, when positive, enable the typed event-trace
 	// ring and per-access latency spans in every run (see system.Config);
 	// each Result then carries a Trace dump for Perfetto export.
@@ -60,6 +64,11 @@ type Options struct {
 	// return a Machine.SetProgress callback (or nil). Callbacks fire on
 	// worker goroutines; system.ProgressPrinter returns a suitable one.
 	Progress func(key string) func(system.Progress)
+	// Tracker, when non-nil, registers every run with the live
+	// introspection tracker: manifest, progress fractions, and throttled
+	// registry snapshots for the -http server. Observation is host-side
+	// only and never perturbs results.
+	Tracker *obs.RunTracker
 }
 
 func (o Options) workers() int {
@@ -95,8 +104,22 @@ type Run struct {
 	Spec workload.Spec
 }
 
+// RunResult is one completed simulation plus its host-side run metadata.
+// The embedded system.Result keeps field access (res.IPC, res.Metrics)
+// working unchanged; the metadata is deliberately excluded from the
+// RunResult's own JSON so Report.Runs stays exactly the deterministic
+// simulation output — manifests and durations surface through the Report's
+// Manifests/RunSeconds maps instead.
+type RunResult struct {
+	*system.Result
+	// Manifest is the run's content address (config + workload + build).
+	Manifest *obs.Manifest `json:"-"`
+	// WallSeconds is the run's host-side wall-clock duration.
+	WallSeconds float64 `json:"-"`
+}
+
 // Results maps Run.Key to the outcome.
-type Results map[string]*system.Result
+type Results map[string]*RunResult
 
 // Execute runs the batch on a pool of opts.workers() goroutines and returns
 // results by key. Results are deterministic and independent of the worker
@@ -111,7 +134,7 @@ type Results map[string]*system.Result
 // run.
 func Execute(ctx context.Context, opts Options, runs []Run) (Results, error) {
 	type outcome struct {
-		res *system.Result
+		res *RunResult
 		err error
 	}
 	outcomes := make([]outcome, len(runs))
@@ -131,11 +154,33 @@ func Execute(ctx context.Context, opts Options, runs []Run) (Results, error) {
 					outcomes[i] = outcome{err: err}
 					continue
 				}
+				man := obs.NewManifest(r.Cfg, r.Spec)
+				h := opts.Tracker.Start(r.Key, man) // nil-safe: nil tracker, nil handle
+				var userFn func(system.Progress)
 				if opts.Progress != nil {
-					m.SetProgress(opts.Progress(r.Key))
+					userFn = opts.Progress(r.Key)
 				}
+				if userFn != nil || h != nil {
+					reg := m.Metrics()
+					m.SetProgress(func(p system.Progress) {
+						if userFn != nil {
+							userFn(p)
+						}
+						h.Observe(p, reg)
+					})
+				}
+				start := time.Now()
 				res, err := m.RunContext(ctx)
-				outcomes[i] = outcome{res: res, err: err}
+				h.Finish()
+				if res != nil {
+					outcomes[i] = outcome{res: &RunResult{
+						Result:      res,
+						Manifest:    man,
+						WallSeconds: time.Since(start).Seconds(),
+					}, err: err}
+				} else {
+					outcomes[i] = outcome{err: err}
+				}
 			}
 		}()
 	}
@@ -156,8 +201,11 @@ func Execute(ctx context.Context, opts Options, runs []Run) (Results, error) {
 			}
 		case o.res != nil:
 			results[r.Key] = o.res
-			if opts.Verbose && opts.Log != nil {
-				fmt.Fprintf(opts.Log, "# %s: %s\n", r.Key, o.res)
+			if opts.Verbose && opts.Logger != nil {
+				opts.Logger.Info("run complete", "run", r.Key,
+					"summary", o.res.Result.String(),
+					"wall_seconds", o.res.WallSeconds,
+					"manifest", o.res.Manifest.Address)
 			}
 		}
 	}

@@ -29,6 +29,7 @@ var RuleNames = []string{
 	"metricname",
 	"floatclock",
 	"poolalloc",
+	"obsboundary",
 	"directive",
 }
 
@@ -143,6 +144,9 @@ func Run(mod *Module, cfg Config) []Diagnostic {
 	}
 	if cfg.ruleEnabled("poolalloc") {
 		diags = append(diags, checkPoolAlloc(mod, &cfg)...)
+	}
+	if cfg.ruleEnabled("obsboundary") {
+		diags = append(diags, checkObsBoundary(mod, &cfg)...)
 	}
 
 	kept := diags[:0]

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// checkObsBoundary enforces the observability boundary: host-side
+// introspection (internal/obs) and structured logging (log/slog) are
+// one-way consumers of the model. A model package importing either would
+// let host-side, wall-clock-coupled machinery leak into simulation state,
+// so both imports are banned outright in contract scope.
+func checkObsBoundary(mod *Module, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range mod.Sorted() {
+		if !cfg.isModel(mod.Path, p.Path) {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				ipath, _ := strconv.Unquote(imp.Path.Value)
+				var msg string
+				switch {
+				case ipath == "log/slog":
+					msg = "model package imports log/slog; structured logging is host-side only — model state must surface through metrics and Results"
+				case ipath == "internal/obs" || strings.HasSuffix(ipath, "/internal/obs"):
+					msg = "model package imports " + ipath + "; observability observes the model, never the reverse — attach manifests and trackers at the harness/CLI layer"
+				default:
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos: mod.Fset.Position(imp.Pos()), Rule: "obsboundary",
+					Message: msg,
+				})
+			}
+		}
+	}
+	return diags
+}

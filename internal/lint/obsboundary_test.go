@@ -1,0 +1,80 @@
+package lint
+
+import "testing"
+
+// fakeObs provides overlay stand-ins for the host-side packages the
+// obsboundary rule bans from model code.
+var fakeObs = map[string]map[string]string{
+	"m/internal/obs": {"obs.go": `package obs
+type RunTracker struct{}
+func NewRunTracker() *RunTracker
+`},
+	"log/slog": {"slog.go": `package slog
+type Logger struct{}
+func (l *Logger) Info(msg string, args ...any)
+func Default() *Logger
+`},
+}
+
+func TestObsBoundaryFlagsModelImports(t *testing.T) {
+	src := `package model
+
+import (
+	"log/slog"
+	"m/internal/obs"
+)
+
+func bad() {
+	slog.Default().Info("leak")
+	_ = obs.NewRunTracker()
+}
+`
+	diags := lintSnippet(t, src, snippetConfig(), fakeObs)
+	wantDiags(t, diags,
+		[2]any{"obsboundary", 4},
+		[2]any{"obsboundary", 5},
+	)
+}
+
+func TestObsBoundaryAllowsHostPackages(t *testing.T) {
+	// The same imports outside contract scope are fine: obs and slog are
+	// exactly the host-side layer.
+	src := `package model
+
+func ok() {}
+`
+	host := `package host
+
+import (
+	"log/slog"
+	"m/internal/obs"
+)
+
+func use() {
+	slog.Default().Info("host-side")
+	_ = obs.NewRunTracker()
+}
+`
+	extra := map[string]map[string]string{
+		"m/host": {"host.go": host},
+	}
+	for ip, files := range fakeObs {
+		extra[ip] = files
+	}
+	diags := lintSnippet(t, src, snippetConfig(), extra)
+	wantDiags(t, diags)
+}
+
+func TestObsBoundaryIgnoreDirective(t *testing.T) {
+	src := `package model
+
+import (
+	//nomadlint:ignore obsboundary -- exercising the escape hatch
+	"log/slog"
+)
+
+var _ = slog.Default
+`
+	diags := lintSnippet(t, src, snippetConfig(), fakeObs)
+	wantDiags(t, diags)
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+
+	"nomad/internal/metrics"
+)
+
+// Prometheus text exposition (version 0.0.4) for the tracker: process-level
+// gauges, per-run progress, and each active run's latest registry snapshot
+// mapped as labeled families — counters under nomad_sim_counter_total,
+// gauges under nomad_sim_gauge, and log2 histograms as cumulative
+// nomad_sim_histogram_{bucket,sum,count} with le upper bounds from the
+// bucket boundaries.
+
+// expWriter accumulates one exposition document, grouping samples by family
+// so every family is declared once and listed contiguously (the format
+// forbids interleaving).
+type expWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *expWriter) family(name, typ, help string) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+}
+
+func (e *expWriter) sample(name, labels string, v float64) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, "%s%s %g\n", name, labels, v)
+	}
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func labels(kv ...string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, kv[i], escapeLabel(kv[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// writeExposition renders the full /metrics document for the tracker.
+func writeExposition(w io.Writer, t *RunTracker) error {
+	e := &expWriter{w: w}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	e.family("nomad_host_heap_inuse_bytes", "gauge", "Go heap in use by this process.")
+	e.sample("nomad_host_heap_inuse_bytes", "", float64(ms.HeapInuse))
+	e.family("nomad_host_goroutines", "gauge", "Goroutines in this process.")
+	e.sample("nomad_host_goroutines", "", float64(runtime.NumGoroutine()))
+	e.family("nomad_host_gc_cycles_total", "counter", "Completed GC cycles since process start.")
+	e.sample("nomad_host_gc_cycles_total", "", float64(ms.NumGC))
+	e.family("nomad_host_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.")
+	e.sample("nomad_host_gc_pause_seconds_total", "", float64(ms.PauseTotalNs)/1e9)
+
+	active, completed := t.Counts()
+	e.family("nomad_runs_active", "gauge", "Simulations currently running.")
+	e.sample("nomad_runs_active", "", float64(active))
+	e.family("nomad_runs_completed_total", "counter", "Simulations finished since the tracker started.")
+	e.sample("nomad_runs_completed_total", "", float64(completed))
+
+	statuses := t.Statuses()
+	type liveRun struct {
+		st   RunStatus
+		snap *metrics.Snapshot
+	}
+	var runs []liveRun
+	for _, st := range statuses {
+		runs = append(runs, liveRun{st: st, snap: t.Handle(st.Key).latest()})
+	}
+
+	e.family("nomad_run_progress", "gauge", "Current phase completion fraction of each run.")
+	for _, r := range runs {
+		e.sample("nomad_run_progress", labels("run", r.st.Key, "phase", r.st.Phase), r.st.Fraction)
+	}
+	e.family("nomad_run_cycle", "gauge", "Current simulated cycle of each run.")
+	for _, r := range runs {
+		e.sample("nomad_run_cycle", labels("run", r.st.Key), float64(r.st.Cycle))
+	}
+	e.family("nomad_run_cycles_per_sec", "gauge", "Simulated-cycle throughput of each run over the last snapshot window.")
+	for _, r := range runs {
+		if r.st.CyclesPerSec > 0 {
+			e.sample("nomad_run_cycles_per_sec", labels("run", r.st.Key), r.st.CyclesPerSec)
+		}
+	}
+
+	// Registry families. Metric names keep their dotted registry form as a
+	// label value (the stable public names from DESIGN.md) rather than being
+	// mangled into the sample name.
+	e.family("nomad_sim_counter_total", "counter", "Registry counters of active runs (ROI delta), by dotted metric name.")
+	for _, r := range runs {
+		if r.snap == nil {
+			continue
+		}
+		for _, name := range sortedKeys(r.snap.Counters) {
+			e.sample("nomad_sim_counter_total", labels("run", r.st.Key, "metric", name), float64(r.snap.Counters[name]))
+		}
+	}
+	e.family("nomad_sim_gauge", "gauge", "Registry gauges of active runs, by dotted metric name.")
+	for _, r := range runs {
+		if r.snap == nil {
+			continue
+		}
+		for _, name := range sortedKeys(r.snap.Gauges) {
+			e.sample("nomad_sim_gauge", labels("run", r.st.Key, "metric", name), r.snap.Gauges[name])
+		}
+	}
+	e.family("nomad_sim_histogram", "histogram", "Registry log2-bucket histograms of active runs (ROI delta), by dotted metric name.")
+	for _, r := range runs {
+		if r.snap == nil {
+			continue
+		}
+		for _, name := range sortedKeys(r.snap.Histograms) {
+			h := r.snap.Histograms[name]
+			var cum uint64
+			for _, b := range h.Buckets {
+				cum += b.Count
+				e.sample("nomad_sim_histogram_bucket",
+					labels("run", r.st.Key, "metric", name, "le", fmt.Sprint(b.Hi)), float64(cum))
+			}
+			e.sample("nomad_sim_histogram_bucket",
+				labels("run", r.st.Key, "metric", name, "le", "+Inf"), float64(h.Count))
+			e.sample("nomad_sim_histogram_sum", labels("run", r.st.Key, "metric", name), float64(h.Sum))
+			e.sample("nomad_sim_histogram_count", labels("run", r.st.Key, "metric", name), float64(h.Count))
+		}
+	}
+	return e.err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sample and comment line shapes of the text exposition format. The value
+// grammar accepts decimal/scientific floats, +/-Inf, and NaN.
+var (
+	sampleLine = regexp.MustCompile(
+		`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*",?)*\})? ` +
+			`(-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)( [0-9]+)?$`)
+	helpLine = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeLine = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	nameOf   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+)
+
+// ValidateExposition checks that r is a well-formed Prometheus text
+// exposition document: every line is a HELP/TYPE comment or a sample
+// matching the format's grammar, every sample's family was declared with a
+// TYPE first (histogram samples may use the _bucket/_sum/_count suffixes of
+// a declared histogram), and at least one sample is present. CI and the
+// package tests run it against the live /metrics output.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	declared := map[string]string{}
+	samples := 0
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		switch {
+		case text == "":
+		case strings.HasPrefix(text, "#"):
+			if m := typeLine.FindStringSubmatch(text); m != nil {
+				declared[m[1]] = m[2]
+			} else if !helpLine.MatchString(text) {
+				return fmt.Errorf("exposition line %d: malformed comment %q", line, text)
+			}
+		case sampleLine.MatchString(text):
+			name := nameOf.FindString(text)
+			if !familyDeclared(declared, name) {
+				return fmt.Errorf("exposition line %d: sample %q has no preceding TYPE declaration", line, name)
+			}
+			samples++
+		default:
+			return fmt.Errorf("exposition line %d: malformed sample %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition has no samples")
+	}
+	return nil
+}
+
+// familyDeclared resolves a sample name to a declared family, accepting the
+// histogram/summary child suffixes.
+func familyDeclared(declared map[string]string, name string) bool {
+	if _, ok := declared[name]; ok {
+		return true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if typ := declared[base]; typ == "histogram" || typ == "summary" {
+			return true
+		}
+	}
+	return false
+}

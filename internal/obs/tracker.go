@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nomad/internal/metrics"
+	"nomad/internal/system"
+)
+
+// snapshotMinPeriod throttles live registry snapshots: progress callbacks
+// fire every interval tick (often thousands per wall second) but the server
+// only needs a fresh snapshot a couple of times per second, and each
+// Snapshot() allocates.
+const snapshotMinPeriod = 500 * time.Millisecond
+
+// RunTracker is the registry of in-flight (and recently finished) runs an
+// introspection server reads. A nil tracker is fully usable — every method,
+// and every method of the nil handles it returns, is a no-op — so call sites
+// wire observation unconditionally and pay nothing when -http is off.
+//
+// Publishing side (Start/Observe/Finish) is called from simulation worker
+// goroutines; reading side (Statuses, exposition) from HTTP handlers. The
+// tracker and each handle carry their own mutex; observation never blocks on
+// a slow reader.
+type RunTracker struct {
+	mu        sync.Mutex
+	runs      map[string]*RunHandle
+	order     []string
+	completed uint64
+}
+
+// NewRunTracker returns an empty tracker.
+func NewRunTracker() *RunTracker {
+	return &RunTracker{runs: map[string]*RunHandle{}}
+}
+
+// Start registers a run and returns its handle. Keys repeat across batches
+// (experiments reuse scheme/workload keys); repeats get a "#n" suffix so
+// both stay addressable. Nil-safe: a nil tracker returns a nil handle.
+func (t *RunTracker) Start(key string, man *Manifest) *RunHandle {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := key
+	for n := 2; t.runs[key] != nil; n++ {
+		key = fmt.Sprintf("%s#%d", base, n)
+	}
+	h := &RunHandle{t: t, key: key, man: man, started: time.Now()}
+	t.runs[key] = h
+	t.order = append(t.order, key)
+	return h
+}
+
+// Handle returns the handle registered under key, or nil.
+func (t *RunTracker) Handle(key string) *RunHandle {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.runs[key]
+}
+
+// Counts returns the number of active and completed runs.
+func (t *RunTracker) Counts() (active, completed uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return uint64(len(t.runs)) - t.completed, t.completed
+}
+
+// Statuses returns every tracked run's status in registration order.
+func (t *RunTracker) Statuses() []RunStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	handles := make([]*RunHandle, 0, len(t.order))
+	for _, k := range t.order {
+		handles = append(handles, t.runs[k])
+	}
+	t.mu.Unlock()
+	out := make([]RunStatus, len(handles))
+	for i, h := range handles {
+		out[i] = h.Status()
+	}
+	return out
+}
+
+// RunStatus is the serializable state of one tracked run (the /runs
+// endpoint).
+type RunStatus struct {
+	Key string `json:"key"`
+	// Address is the run's manifest content address.
+	Address string `json:"address,omitempty"`
+	Phase   string `json:"phase,omitempty"`
+	// Fraction is the current phase's completion in [0,1].
+	Fraction float64 `json:"fraction"`
+	Cycle    uint64  `json:"cycle"`
+	// CyclesPerSec is the simulated-cycle rate over the last snapshot
+	// window (0 until two snapshots exist).
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	StartedUnix  int64   `json:"started_unix"`
+	Done         bool    `json:"done"`
+}
+
+// TimelineRow is one interval window of a live run, streamed over SSE.
+type TimelineRow struct {
+	// Cycle is the window's end, relative to the ROI start.
+	Cycle  uint64             `json:"cycle"`
+	Values map[string]float64 `json:"values"`
+}
+
+// RunHandle publishes one run's progress to the tracker. The simulation's
+// progress callback calls Observe synchronously on the sim goroutine; HTTP
+// handlers read the published copies under the handle mutex. All methods
+// are nil-safe.
+type RunHandle struct {
+	t       *RunTracker
+	key     string
+	man     *Manifest
+	started time.Time
+
+	mu       sync.Mutex
+	phase    string
+	frac     float64
+	cycle    uint64
+	lastSnap time.Time
+	hasSnap  bool
+	cps      float64
+	snap     *metrics.Snapshot
+	rows     []TimelineRow
+	subs     []chan TimelineRow
+	done     bool
+}
+
+// Key returns the (possibly suffixed) key the run is tracked under.
+func (h *RunHandle) Key() string {
+	if h == nil {
+		return ""
+	}
+	return h.key
+}
+
+// Manifest returns the run's manifest.
+func (h *RunHandle) Manifest() *Manifest {
+	if h == nil {
+		return nil
+	}
+	return h.man
+}
+
+// Observe publishes one progress tick. The cheap fields (phase, fraction,
+// cycle) update every call; a full registry snapshot — the source for
+// /metrics and timeline streaming — is taken at most once per
+// snapshotMinPeriod. reg may be nil (progress only). Snapshot() only reads
+// registry state, so observation cannot perturb the run.
+func (h *RunHandle) Observe(p system.Progress, reg *metrics.Registry) {
+	if h == nil {
+		return
+	}
+	//nomadlint:ignore wallclock -- obs is host-side by charter; wall time never feeds simulation state
+	now := time.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.phase, h.frac, h.cycle = p.Phase, p.Fraction(), p.Cycle
+	if reg == nil || (h.hasSnap && now.Sub(h.lastSnap) < snapshotMinPeriod) {
+		return
+	}
+	if h.hasSnap {
+		if dt := now.Sub(h.lastSnap).Seconds(); dt > 0 && h.snap != nil {
+			prev := h.snap.Cycles
+			cur := reg.Snapshot(p.Cycle)
+			if cur.Cycles >= prev {
+				h.cps = float64(cur.Cycles-prev) / dt
+			}
+			h.snap = cur
+			h.lastSnap = now
+			h.broadcastLocked()
+			return
+		}
+	}
+	h.snap = reg.Snapshot(p.Cycle)
+	h.hasSnap = true
+	h.lastSnap = now
+	h.broadcastLocked()
+}
+
+// broadcastLocked forwards timeline rows the latest snapshot added beyond
+// what was already streamed. Sends never block: a slow subscriber drops
+// rows rather than stalling the simulation.
+func (h *RunHandle) broadcastLocked() {
+	tl := h.snap.Timeline
+	if tl == nil {
+		return
+	}
+	for i := len(h.rows); i < len(tl.Cycles); i++ {
+		row := TimelineRow{Cycle: tl.Cycles[i], Values: make(map[string]float64, len(tl.Metrics))}
+		for name, col := range tl.Metrics {
+			if i < len(col) {
+				row.Values[name] = col[i]
+			}
+		}
+		h.rows = append(h.rows, row)
+		for _, ch := range h.subs {
+			select {
+			case ch <- row:
+			default:
+			}
+		}
+	}
+}
+
+// Subscribe returns the rows streamed so far plus a channel of subsequent
+// ones; the channel closes when the run finishes. cancel detaches early.
+func (h *RunHandle) Subscribe() (history []TimelineRow, live <-chan TimelineRow, cancel func()) {
+	if h == nil {
+		ch := make(chan TimelineRow)
+		close(ch)
+		return nil, ch, func() {}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	history = append([]TimelineRow(nil), h.rows...)
+	ch := make(chan TimelineRow, 64)
+	if h.done {
+		close(ch)
+		return history, ch, func() {}
+	}
+	h.subs = append(h.subs, ch)
+	return history, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		for i, c := range h.subs {
+			if c == ch {
+				h.subs = append(h.subs[:i], h.subs[i+1:]...)
+				close(c)
+				return
+			}
+		}
+	}
+}
+
+// Status returns the run's serializable state.
+func (h *RunHandle) Status() RunStatus {
+	if h == nil {
+		return RunStatus{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := RunStatus{
+		Key: h.key, Phase: h.phase, Fraction: h.frac, Cycle: h.cycle,
+		CyclesPerSec: h.cps, StartedUnix: h.started.Unix(), Done: h.done,
+	}
+	if h.man != nil {
+		s.Address = h.man.Address
+	}
+	return s
+}
+
+// latest returns the last published snapshot (nil before the first tick or
+// after Finish).
+func (h *RunHandle) latest() *metrics.Snapshot {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.snap
+}
+
+// Finish marks the run completed, closes subscriber streams, and releases
+// the published snapshot (completed runs keep only their status line).
+// Call it whether the run succeeded or failed.
+func (h *RunHandle) Finish() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		close(ch)
+	}
+	h.subs = nil
+	h.snap = nil
+	h.rows = nil
+	h.done = true
+	h.mu.Unlock()
+	h.t.mu.Lock()
+	h.t.completed++
+	h.t.mu.Unlock()
+}

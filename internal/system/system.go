@@ -434,6 +434,17 @@ func (m *Machine) setPhase(phase string, base []uint64, target uint64) {
 	m.phaseTarget = target
 }
 
+// finishPhase emits one final Progress report the moment a retirement phase
+// completes. Phases almost never end exactly on an interval boundary, so
+// without this the callback's last observation is the last throttled tick's
+// fraction; consumers (ProgressPrinter's 100% line, the obs tracker's done
+// state) need the fraction-1 report.
+func (m *Machine) finishPhase() {
+	if m.progressFn != nil {
+		m.progressFn(Progress{Phase: m.phase, Cycle: m.eng.Now(), Done: m.phaseTarget, Target: m.phaseTarget})
+	}
+}
+
 // runUntilRetired advances until every core has retired at least target
 // additional instructions (relative to the given baselines) or maxCycles
 // pass. It runs in sampling-window-sized chunks, checking ctx between
@@ -497,6 +508,7 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("system: warmup exceeded %d cycles (scheme %s)", cfg.MaxCycles, cfg.Scheme)
 		}
+		m.finishPhase()
 	}
 	m.reg.MarkROI(m.eng.Now())
 	// Re-anchor the interval hook at the ROI boundary so the first timeline
@@ -517,6 +529,7 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("system: ROI exceeded %d cycles (scheme %s)", cfg.MaxCycles, cfg.Scheme)
 	}
+	m.finishPhase()
 	m.reg.FinishTimeline(m.eng.Now())
 	res := m.result(m.reg.Snapshot(m.eng.Now()))
 	if m.prof != nil {

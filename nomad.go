@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 
+	"nomad/internal/obs"
 	"nomad/internal/system"
 	"nomad/internal/workload"
 )
@@ -178,7 +179,8 @@ func RunContext(ctx context.Context, cfg Config, w Workload) (*Result, error) {
 		verr.Workload = w.Abbr()
 		return nil, verr
 	}
-	m, err := system.New(cfg.toInternal(), w.spec)
+	icfg := cfg.toInternal()
+	m, err := system.New(icfg, w.spec)
 	if err != nil {
 		return nil, fail("configure", err)
 	}
@@ -186,5 +188,20 @@ func RunContext(ctx context.Context, cfg Config, w Workload) (*Result, error) {
 	if err != nil {
 		return nil, fail("run", err)
 	}
-	return fromInternal(r), nil
+	out := fromInternal(r)
+	out.manifest = fromObsManifest(obs.NewManifest(icfg, w.spec))
+	return out, nil
+}
+
+// ManifestFor computes the content-addressed manifest a Run of (cfg, w)
+// would carry, without running anything: the address is the SHA-256 of the
+// resolved configuration, the workload definition, and the module build
+// stamp. Because same-seed runs are byte-identical, the address fully
+// identifies the result — the key for a content-addressed result cache.
+func ManifestFor(cfg Config, w Workload) (*Manifest, error) {
+	if verr := cfg.Validate(); verr != nil {
+		verr.Workload = w.Abbr()
+		return nil, verr
+	}
+	return fromObsManifest(obs.NewManifest(cfg.toInternal(), w.spec)), nil
 }
