@@ -48,6 +48,7 @@ import (
 
 	"nomad"
 	"nomad/internal/cliflags"
+	"nomad/internal/diag"
 	"nomad/internal/obs"
 	"nomad/internal/system"
 	"nomad/internal/workload"
@@ -72,6 +73,9 @@ type File struct {
 	// Obs measures the live-observation slowdown (absent only on schema-old
 	// baselines).
 	Obs *ObsOverhead `json:"obs_overhead,omitempty"`
+	// Digest measures the interval digest-chain capture slowdown (absent
+	// only on schema-old baselines). The acceptance bar is under 2%.
+	Digest *DigestOverhead `json:"digest_overhead,omitempty"`
 	// FastForward measures the idle-cycle fast-forward speedup on one
 	// blocking OS-managed scheme (absent when bench ran with -no-ff).
 	FastForward *FFSpeedup `json:"fast_forward,omitempty"`
@@ -90,6 +94,14 @@ type E2E struct {
 	// SkipRatio is the fraction of simulated cycles the engine
 	// fast-forwarded over (skipped_cycles / sim_cycles; 0 with -no-ff).
 	SkipRatio float64 `json:"skip_ratio"`
+	// Digest is the run's final chained interval digest. Deterministic:
+	// a change between two BENCH files means the simulated behavior of the
+	// benchmark run changed, not just its host-side speed.
+	Digest string `json:"digest,omitempty"`
+	// Metrics is the run's counter snapshot, kept so a throughput
+	// regression can be attributed to behavioral metric deltas on
+	// comparison (absent on schema-old baselines).
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // Overhead is the timeline-capture slowdown measurement: the same run with
@@ -111,6 +123,16 @@ type ObsOverhead struct {
 	ObservedCyclesPerSec float64 `json:"observed_cycles_per_sec"`
 	// OverheadPct is the relative slowdown in percent; negative means the
 	// observed run happened to be faster (noise).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// DigestOverhead is the digest-chain capture slowdown measurement: the same
+// run with and without Telemetry.Digests, best-of-N cycles/sec each.
+type DigestOverhead struct {
+	BaseCyclesPerSec   float64 `json:"base_cycles_per_sec"`
+	DigestCyclesPerSec float64 `json:"digest_cycles_per_sec"`
+	// OverheadPct is the relative slowdown in percent; negative means the
+	// digest run happened to be faster (noise).
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
@@ -194,6 +216,16 @@ func main() {
 		"observed_mcyc_per_sec", round2(oo.ObservedCyclesPerSec/1e6),
 		"overhead_pct", round2(oo.OverheadPct))
 
+	dov, err := runDigestOverhead(cf, *reps)
+	if err != nil {
+		fatal("digest overhead: %v", err)
+	}
+	f.Digest = dov
+	logger.Info("digest overhead",
+		"base_mcyc_per_sec", round2(dov.BaseCyclesPerSec/1e6),
+		"digest_mcyc_per_sec", round2(dov.DigestCyclesPerSec/1e6),
+		"overhead_pct", round2(dov.OverheadPct))
+
 	if !cf.NoFF {
 		sp, err := runFFSpeedup(cf, *reps)
 		if err != nil {
@@ -252,6 +284,8 @@ func main() {
 	} else {
 		summary.Baseline = prevPath
 		summary.Deltas = Compare(prev, f, *thresh)
+		summary.Added, summary.Dropped = Coverage(prev, f)
+		summary.Attribution = Attribute(prev, f, summary.Deltas, 0)
 	}
 	regressed := false
 	for _, d := range summary.Deltas {
@@ -274,6 +308,18 @@ func main() {
 			for _, d := range summary.Deltas {
 				fmt.Println("  " + d.String())
 			}
+			if len(summary.Added) > 0 {
+				fmt.Printf("added measurements (no baseline): %s\n", strings.Join(summary.Added, ", "))
+			}
+			if len(summary.Dropped) > 0 {
+				fmt.Printf("dropped measurements (baseline only): %s\n", strings.Join(summary.Dropped, ", "))
+			}
+			for _, a := range summary.Attribution {
+				fmt.Printf("attribution %s: %s\n", a.Name, a.Note)
+				for _, md := range a.Deltas {
+					fmt.Println("  " + md.String())
+				}
+			}
 		}
 	}
 	if regressed && *failOn {
@@ -289,6 +335,13 @@ type Summary struct {
 	Baseline string  `json:"baseline,omitempty"`
 	Note     string  `json:"note,omitempty"`
 	Deltas   []Delta `json:"deltas,omitempty"`
+	// Added/Dropped are measurements present in only one of the two files
+	// (current only / baseline only) — the entries the deltas skip.
+	Added   []string `json:"added,omitempty"`
+	Dropped []string `json:"dropped,omitempty"`
+	// Attribution explains each regressed e2e entry via its digest chain
+	// and counter captures.
+	Attribution []Attribution `json:"attribution,omitempty"`
 }
 
 // measureConfig is the simulation configuration every bench measurement
@@ -307,6 +360,10 @@ func measureConfig(cf *cliflags.Common, scheme nomad.Scheme) nomad.Config {
 			Timeline:         cf.Timeline,
 			TimelineInterval: cf.Interval,
 			TimelineMetrics:  cf.Metrics(),
+			// Digest chains are always on so every E2E entry carries the
+			// behavioral fingerprint comparisons attribute regressions
+			// with; runDigestOverhead turns them off for its base side.
+			Digests: true,
 		},
 	}
 }
@@ -373,6 +430,13 @@ func runE2E(cf *cliflags.Common, scheme nomad.Scheme, reps int) (E2E, error) {
 			if h.SimCycles > 0 {
 				best.SkipRatio = float64(h.SkippedCycles) / float64(h.SimCycles)
 			}
+			// Behavioral fingerprint for regression attribution. Every rep
+			// runs the same seed, so any rep's digest and counters match
+			// the best one's.
+			best.Digest = res.Digests().Final()
+			if snap := res.Metrics(); snap != nil {
+				best.Metrics = snap.Counters
+			}
 		}
 	}
 	return best, nil
@@ -417,6 +481,44 @@ func runFFSpeedup(cf *cliflags.Common, reps int) (*FFSpeedup, error) {
 		sp.Speedup = on / off
 	}
 	return sp, nil
+}
+
+// runDigestOverhead measures the digest-chain capture's slowdown: NOMAD on
+// cactusADM with and without Telemetry.Digests at the default interval,
+// best-of-reps cycles/sec each.
+func runDigestOverhead(cf *cliflags.Common, reps int) (*DigestOverhead, error) {
+	w, err := nomad.WorkloadByAbbr("cact")
+	if err != nil {
+		return nil, err
+	}
+	measure := func(digests bool) (float64, error) {
+		var best float64
+		for i := 0; i < reps; i++ {
+			cfg := measureConfig(cf, nomad.SchemeNOMAD)
+			cfg.Telemetry.Digests = digests
+			res, err := nomad.Run(cfg, w)
+			if err != nil {
+				return 0, err
+			}
+			if h := res.Host(); h != nil && h.SimCyclesPerSec > best {
+				best = h.SimCyclesPerSec
+			}
+		}
+		return best, nil
+	}
+	base, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	dg, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	ov := &DigestOverhead{BaseCyclesPerSec: base, DigestCyclesPerSec: dg}
+	if base > 0 {
+		ov.OverheadPct = 100 * (base - dg) / base
+	}
+	return ov, nil
 }
 
 // runOverhead measures the timeline capture's slowdown: NOMAD on cactusADM
@@ -613,8 +715,9 @@ func (d Delta) String() string {
 }
 
 // Compare diffs two BENCH files metric-by-metric. Metrics present in only
-// one file are skipped (schema growth is not a regression). threshold is
-// the relative worsening flagged as a regression.
+// one file produce no delta (schema growth is not a regression) — Coverage
+// reports them so they surface instead of disappearing. threshold is the
+// relative worsening flagged as a regression.
 func Compare(prev, cur *File, threshold float64) []Delta {
 	var deltas []Delta
 	higherBetter := func(name string, old, new float64) {
@@ -648,6 +751,9 @@ func Compare(prev, cur *File, threshold float64) []Delta {
 	if prev.Obs != nil && cur.Obs != nil {
 		higherBetter("observed cycles/s", prev.Obs.ObservedCyclesPerSec, cur.Obs.ObservedCyclesPerSec)
 	}
+	if prev.Digest != nil && cur.Digest != nil {
+		higherBetter("digest cycles/s", prev.Digest.DigestCyclesPerSec, cur.Digest.DigestCyclesPerSec)
+	}
 	if prev.FastForward != nil && cur.FastForward != nil && prev.FastForward.Scheme == cur.FastForward.Scheme {
 		// Gate on the absolute fast-forwarded throughput. The on/off ratio
 		// stays advisory (never a Regression): it shrinks by construction
@@ -670,6 +776,116 @@ func Compare(prev, cur *File, threshold float64) []Delta {
 	}
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
 	return deltas
+}
+
+// Coverage lists the measurements present in only one of two BENCH files —
+// the entries Compare necessarily skips. Schema growth is not a regression,
+// but silently comparing a shrunken file reads as "all clear" when it is
+// not, so comparisons print both lists.
+func Coverage(prev, cur *File) (added, dropped []string) {
+	names := func(f *File) map[string]bool {
+		s := map[string]bool{}
+		for _, e := range f.E2E {
+			s[e.Name] = true
+		}
+		for _, b := range f.GoBench {
+			s[b.Name] = true
+		}
+		if f.Timeline != nil {
+			s["timeline_overhead"] = true
+		}
+		if f.Obs != nil {
+			s["obs_overhead"] = true
+		}
+		if f.Digest != nil {
+			s["digest_overhead"] = true
+		}
+		if f.FastForward != nil {
+			s["fast_forward"] = true
+		}
+		return s
+	}
+	p, c := names(prev), names(cur)
+	for n := range c {
+		if !p[n] {
+			added = append(added, n)
+		}
+	}
+	for n := range p {
+		if !c[n] {
+			dropped = append(dropped, n)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(dropped)
+	return added, dropped
+}
+
+// Attribution explains one regressed end-to-end entry by its behavioral
+// captures: either the digest chains match — the simulated behavior is
+// identical and the slowdown is host-side (code, toolchain, machine) — or
+// they differ and the top counter deltas say what changed.
+type Attribution struct {
+	Name string `json:"name"`
+	// BehaviorIdentical is true when both files carry the run's digest and
+	// they agree.
+	BehaviorIdentical bool   `json:"behavior_identical"`
+	Note              string `json:"note"`
+	// Deltas ranks the counter changes when the behavior differs.
+	Deltas []diag.MetricDelta `json:"deltas,omitempty"`
+}
+
+// Attribute builds attributions for the regressed e2e entries in deltas,
+// keeping at most topK counter deltas each (0 = 5).
+func Attribute(prev, cur *File, deltas []Delta, topK int) []Attribution {
+	if topK <= 0 {
+		topK = 5
+	}
+	prevE2E := map[string]E2E{}
+	for _, e := range prev.E2E {
+		prevE2E[e.Name] = e
+	}
+	curE2E := map[string]E2E{}
+	for _, e := range cur.E2E {
+		curE2E[e.Name] = e
+	}
+	var out []Attribution
+	for _, d := range deltas {
+		name, ok := strings.CutSuffix(d.Name, " cycles/s")
+		if !d.Regression || !ok {
+			continue
+		}
+		p, pok := prevE2E[name]
+		c, cok := curE2E[name]
+		if !pok || !cok {
+			continue
+		}
+		a := Attribution{Name: name}
+		switch {
+		case p.Digest == "" || c.Digest == "":
+			a.Note = "no digest recorded on one side; cannot separate behavioral from host-side change"
+		case p.Digest == c.Digest:
+			a.BehaviorIdentical = true
+			a.Note = "digest chains match: simulated behavior is identical, the slowdown is host-side"
+		default:
+			a.Note = fmt.Sprintf("digest %s -> %s: simulated behavior changed", p.Digest, c.Digest)
+			pm := make(map[string]float64, len(p.Metrics))
+			for k, v := range p.Metrics {
+				pm[k] = float64(v)
+			}
+			cm := make(map[string]float64, len(c.Metrics))
+			for k, v := range c.Metrics {
+				cm[k] = float64(v)
+			}
+			md, _, _ := diag.RankDeltas(pm, cm)
+			if len(md) > topK {
+				md = md[:topK]
+			}
+			a.Deltas = md
+		}
+		out = append(out, a)
+	}
+	return out
 }
 
 // resolveBaseline turns the -compare flag into a baseline path, degrading

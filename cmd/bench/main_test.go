@@ -82,6 +82,81 @@ func TestCompare(t *testing.T) {
 	if _, ok := byName["e2e/New cycles/s"]; ok {
 		t.Error("metric absent from previous file should be skipped")
 	}
+
+	// The one-sided entries Compare skips must surface through Coverage.
+	added, dropped := Coverage(prev, cur)
+	if len(added) != 1 || added[0] != "e2e/New" {
+		t.Errorf("added = %v, want [e2e/New]", added)
+	}
+	if len(dropped) != 1 || dropped[0] != "e2e/Gone" {
+		t.Errorf("dropped = %v, want [e2e/Gone]", dropped)
+	}
+}
+
+func TestCoverageSections(t *testing.T) {
+	prev := &File{Schema: Schema, Timeline: &Overhead{}, FastForward: &FFSpeedup{}}
+	cur := &File{Schema: Schema, Timeline: &Overhead{}, Digest: &DigestOverhead{}, Obs: &ObsOverhead{}}
+	added, dropped := Coverage(prev, cur)
+	if want := []string{"digest_overhead", "obs_overhead"}; len(added) != 2 || added[0] != want[0] || added[1] != want[1] {
+		t.Errorf("added = %v, want %v", added, want)
+	}
+	if len(dropped) != 1 || dropped[0] != "fast_forward" {
+		t.Errorf("dropped = %v, want [fast_forward]", dropped)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	prev := &File{
+		Schema: Schema,
+		E2E: []E2E{
+			{Name: "e2e/NOMAD", SimCyclesPerSec: 100, Digest: "aaaa",
+				Metrics: map[string]uint64{"dc.hits": 100, "dc.misses": 10, "same": 5}},
+			{Name: "e2e/TDC", SimCyclesPerSec: 100, Digest: "cccc"},
+			{Name: "e2e/Ideal", SimCyclesPerSec: 100},
+		},
+	}
+	cur := &File{
+		Schema: Schema,
+		E2E: []E2E{
+			{Name: "e2e/NOMAD", SimCyclesPerSec: 50, Digest: "bbbb",
+				Metrics: map[string]uint64{"dc.hits": 80, "dc.misses": 30, "same": 5}},
+			{Name: "e2e/TDC", SimCyclesPerSec: 50, Digest: "cccc"},
+			{Name: "e2e/Ideal", SimCyclesPerSec: 50},
+		},
+	}
+	deltas := Compare(prev, cur, 0.10)
+	atts := Attribute(prev, cur, deltas, 1)
+	if len(atts) != 3 {
+		t.Fatalf("got %d attributions, want 3: %+v", len(atts), atts)
+	}
+	byName := map[string]Attribution{}
+	for _, a := range atts {
+		byName[a.Name] = a
+	}
+	// Digests differ: behavioral change with ranked counter deltas, capped
+	// at topK=1 (dc.misses has the largest relative change).
+	nomadAtt := byName["e2e/NOMAD"]
+	if nomadAtt.BehaviorIdentical {
+		t.Error("differing digests reported as identical behavior")
+	}
+	if len(nomadAtt.Deltas) != 1 || nomadAtt.Deltas[0].Name != "dc.misses" {
+		t.Errorf("deltas = %+v, want one entry for dc.misses", nomadAtt.Deltas)
+	}
+	// Digests match: host-side regression, no metric deltas.
+	tdcAtt := byName["e2e/TDC"]
+	if !tdcAtt.BehaviorIdentical || len(tdcAtt.Deltas) != 0 {
+		t.Errorf("matching digests: %+v", tdcAtt)
+	}
+	// No digest on either side: explicitly inconclusive.
+	idealAtt := byName["e2e/Ideal"]
+	if idealAtt.BehaviorIdentical || len(idealAtt.Deltas) != 0 || idealAtt.Note == "" {
+		t.Errorf("digest-less entry: %+v", idealAtt)
+	}
+
+	// Non-regressed runs produce no attribution.
+	if atts := Attribute(prev, prev, Compare(prev, prev, 0.10), 0); len(atts) != 0 {
+		t.Errorf("self-comparison attributed: %+v", atts)
+	}
 }
 
 func TestFileRoundTripAndSchemaCheck(t *testing.T) {

@@ -214,6 +214,10 @@ func main() {
 		fmt.Printf("tid                 hits %d misses %d (rate %.1f%%) coalesced %d wb %d mshrStalls %d\n",
 			ts.Hits, ts.Misses, 100*ts.MissRate(), ts.Coalesced, ts.Writebacks, ts.MSHRStalls)
 	}
+	if dc := r.Metrics.Digests; dc != nil {
+		fmt.Printf("digest chain        %d windows x %d cycles, final %s (compare runs with nomaddiff)\n",
+			dc.Windows(), dc.Interval, dc.Final())
+	}
 	if tl := r.Metrics.Timeline; tl != nil {
 		fmt.Printf("timeline            %d windows x %d cycles, %d metrics (full columns with -json)\n",
 			tl.Windows(), tl.Interval, len(tl.Metrics))

@@ -51,6 +51,15 @@ type Telemetry struct {
 	// TimelineMetrics restricts the collected columns to names matching
 	// these prefixes (e.g. "core.", "hbm.gbs."); empty collects all.
 	TimelineMetrics []string
+	// Digests enables interval digest chains: every TimelineInterval
+	// cycles of the measured region (default 100k), a chained FNV-1a
+	// digest of the full metrics registry is folded into
+	// Snapshot.Digests / Result.Digests(). Chains are byte-identical
+	// same-seed across engines and fast-forward modes; the first window
+	// whose digests differ between two runs localizes their divergence.
+	// The capture is orders of magnitude cheaper than Timeline — one hash
+	// per 100k cycles.
+	Digests bool
 	// SelfProfile samples the simulator's own host-side performance —
 	// wall-clock simulated-cycles/sec, events/sec, heap-in-use, GC pauses
 	// — into Result.Host(). Host readings are inherently non-deterministic
@@ -277,6 +286,7 @@ func (c Config) toInternal() system.Config {
 		cfg.Interval = sim.DefaultInterval
 	}
 	cfg.TimelineMetrics = tel.TimelineMetrics
+	cfg.Digests = tel.Digests
 	cfg.SelfProfile = tel.SelfProfile
 	cfg.FastForward = !c.NoFastForward
 	cfg.Engine = sim.Kind(c.Engine)

@@ -39,6 +39,9 @@ type ExperimentOptions struct {
 	Timeline         bool
 	TimelineInterval uint64
 	TimelineMetrics  []string
+	// Digests enables interval digest chains in every underlying run (see
+	// Telemetry.Digests).
+	Digests bool
 	// SelfProfile attaches host-side simulator profiling to every run
 	// (Result.Host).
 	SelfProfile bool
@@ -120,6 +123,7 @@ func RunExperimentResult(ctx context.Context, id string, opts ExperimentOptions)
 		Timeline:        opts.Timeline,
 		Interval:        opts.TimelineInterval,
 		TimelineMetrics: opts.TimelineMetrics,
+		Digests:         opts.Digests,
 		SelfProfile:     opts.SelfProfile,
 		NoFastForward:   opts.NoFastForward,
 	})

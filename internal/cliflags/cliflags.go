@@ -37,6 +37,8 @@ type Common struct {
 	Timeline        bool
 	Interval        uint64
 	TimelineMetrics string
+	// Digests enables interval digest-chain capture (-digests).
+	Digests bool
 	// Trace is the Perfetto output path (-trace); a non-empty value also
 	// enables event/span capture at the standard depths.
 	Trace string
@@ -67,6 +69,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.Timeline, "timeline", false, "capture interval time-series telemetry (per-window IPC, hit rates, bandwidth)")
 	fs.Uint64Var(&c.Interval, "interval", 0, "timeline/progress window in cycles (0 = 100000)")
 	fs.StringVar(&c.TimelineMetrics, "timeline-metrics", "", "comma-separated name prefixes restricting timeline columns (e.g. core.,hbm.gbs.)")
+	fs.BoolVar(&c.Digests, "digests", false, "capture interval digest chains (per-window chained registry digests; compare runs with nomaddiff)")
 	fs.StringVar(&c.Trace, "trace", "", "write a Perfetto trace to this file (open at ui.perfetto.dev)")
 	fs.BoolVar(&c.Profile, "profile", false, "self-profile the simulator (wall-clock cycles/sec, heap, GC pauses)")
 	fs.BoolVar(&c.NoFF, "no-ff", false, "disable idle-cycle fast-forward (results are byte-identical either way)")
@@ -121,6 +124,7 @@ func (c *Common) ApplySystem(cfg *system.Config) {
 	cfg.Timeline = c.Timeline
 	cfg.Interval = c.Interval
 	cfg.TimelineMetrics = c.Metrics()
+	cfg.Digests = c.Digests
 	cfg.SelfProfile = c.Profile
 	cfg.FastForward = !c.NoFF
 	cfg.Engine = c.Kind()
@@ -136,6 +140,7 @@ func (c *Common) ApplyOptions(o *harness.Options) {
 	o.Timeline = c.Timeline
 	o.Interval = c.Interval
 	o.TimelineMetrics = c.Metrics()
+	o.Digests = c.Digests
 	o.SelfProfile = c.Profile
 	o.NoFastForward = c.NoFF
 	o.Engine = c.Kind()

@@ -1,0 +1,401 @@
+// Package diag is the divergence-diagnosis and run-comparison layer: typed
+// structural diffs of metrics snapshots, timelines, and interval digest
+// chains, plus a first-divergence bisection driver (bisect.go) that turns
+// "two runs differ" into "they first diverge in interval N; here are the
+// metric deltas and event traces of that window".
+//
+// diag is host-side tooling by charter, like internal/obs: model packages
+// must never import it (the nomadlint obsboundary rule enforces this), and
+// nothing here feeds back into simulation state. Its inputs — snapshots,
+// timelines, digest chains — are the deterministic captures the model
+// already produces.
+package diag
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"nomad/internal/metrics"
+)
+
+// MetricDelta is one differing metric between two runs, in whatever float
+// encoding the metric natively has (counters and histogram counts/sums are
+// exact integers below 2^53).
+type MetricDelta struct {
+	Name string `json:"name"`
+	// A and B are the two runs' values.
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+	// Delta is B - A.
+	Delta float64 `json:"delta"`
+	// Rel is |Delta| / max(|A|, |B|) — the relative magnitude the ranking
+	// sorts by. It is 1 for a metric that is zero on one side.
+	Rel float64 `json:"rel"`
+}
+
+func (d MetricDelta) String() string {
+	return fmt.Sprintf("%-40s %14.6g -> %-14.6g  (delta %+.6g, %.1f%%)",
+		d.Name, d.A, d.B, d.Delta, 100*d.Rel)
+}
+
+// RankDeltas compares two name→value maps. Metrics with equal values are
+// dropped; differing ones are returned ranked by Rel descending (ties by
+// name, so the order is deterministic). Names present in only one map are
+// returned separately: added (B only) and removed (A only), sorted.
+func RankDeltas(a, b map[string]float64) (deltas []MetricDelta, added, removed []string) {
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok {
+			removed = append(removed, name)
+			continue
+		}
+		if av == bv {
+			continue
+		}
+		d := MetricDelta{Name: name, A: av, B: bv, Delta: bv - av}
+		if m := math.Max(math.Abs(av), math.Abs(bv)); m > 0 {
+			d.Rel = math.Abs(d.Delta) / m
+		}
+		deltas = append(deltas, d)
+	}
+	for name := range b {
+		if _, ok := a[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Rel != deltas[j].Rel {
+			return deltas[i].Rel > deltas[j].Rel
+		}
+		return deltas[i].Name < deltas[j].Name
+	})
+	return deltas, added, removed
+}
+
+// DigestDiff localizes where two digest chains part ways.
+type DigestDiff struct {
+	WindowsA int `json:"windows_a"`
+	WindowsB int `json:"windows_b"`
+	// FirstDivergent is the first window index whose digests (or end
+	// cycles) differ, the shorter length when one chain is a strict prefix
+	// of the other, or -1 for identical chains.
+	FirstDivergent int `json:"first_divergent"`
+	// WindowStart/WindowEnd bound the first divergent window in
+	// ROI-relative cycles (valid when FirstDivergent >= 0 and the window
+	// exists in at least one chain; WindowEnd comes from whichever chain
+	// has the window).
+	WindowStart uint64 `json:"window_start,omitempty"`
+	WindowEnd   uint64 `json:"window_end,omitempty"`
+	// DigestA/DigestB are the digests at the divergent window ("" when the
+	// chain is too short to have it).
+	DigestA string `json:"digest_a,omitempty"`
+	DigestB string `json:"digest_b,omitempty"`
+}
+
+// Identical reports whether the chains agree completely.
+func (d *DigestDiff) Identical() bool { return d == nil || d.FirstDivergent < 0 }
+
+// DiffDigests compares two digest chains. Nil chains are treated as empty;
+// two nil/empty chains are identical.
+func DiffDigests(a, b *metrics.DigestChain) *DigestDiff {
+	d := &DigestDiff{
+		WindowsA:       a.Windows(),
+		WindowsB:       b.Windows(),
+		FirstDivergent: a.FirstDivergence(b),
+	}
+	if i := d.FirstDivergent; i >= 0 {
+		ref := a
+		if i >= a.Windows() {
+			ref = b
+		}
+		if i < ref.Windows() {
+			d.WindowEnd = ref.Cycles[i]
+			if i > 0 {
+				d.WindowStart = ref.Cycles[i-1]
+			}
+		}
+		if i < a.Windows() {
+			d.DigestA = a.Digests[i]
+		}
+		if i < b.Windows() {
+			d.DigestB = b.Digests[i]
+		}
+	}
+	return d
+}
+
+// TimelineDiff localizes where two interval timelines part ways and ranks
+// the columns that differ in the first divergent window.
+type TimelineDiff struct {
+	WindowsA int `json:"windows_a"`
+	WindowsB int `json:"windows_b"`
+	// Added/Removed are column names present in only one timeline.
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+	// FirstDivergent is the earliest window where any shared column (or
+	// the window's end cycle) differs, the shorter window count when one
+	// timeline is a strict prefix of the other, or -1 when the shared
+	// columns agree everywhere.
+	FirstDivergent int `json:"first_divergent"`
+	// CycleEnd is the divergent window's end in ROI-relative cycles.
+	CycleEnd uint64 `json:"cycle_end,omitempty"`
+	// Columns ranks the shared columns that differ in the divergent
+	// window by relative delta.
+	Columns []MetricDelta `json:"columns,omitempty"`
+}
+
+// Identical reports whether the timelines agree completely (same columns,
+// same windows, same values).
+func (t *TimelineDiff) Identical() bool {
+	return t == nil || (t.FirstDivergent < 0 && len(t.Added) == 0 && len(t.Removed) == 0)
+}
+
+// DiffTimelines compares two interval timelines window by window. Nil
+// timelines are treated as empty.
+func DiffTimelines(a, b *metrics.TimelineSnapshot) *TimelineDiff {
+	t := &TimelineDiff{WindowsA: a.Windows(), WindowsB: b.Windows(), FirstDivergent: -1}
+	var shared []string
+	seen := map[string]bool{}
+	if a != nil {
+		for name := range a.Metrics {
+			seen[name] = true
+			if b.Metric(name) != nil {
+				shared = append(shared, name)
+			} else {
+				t.Removed = append(t.Removed, name)
+			}
+		}
+	}
+	if b != nil {
+		for name := range b.Metrics {
+			if !seen[name] {
+				t.Added = append(t.Added, name)
+			}
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(t.Added)
+	sort.Strings(t.Removed)
+
+	n := t.WindowsA
+	if t.WindowsB < n {
+		n = t.WindowsB
+	}
+	for i := 0; i < n; i++ {
+		diverged := a.Cycles[i] != b.Cycles[i]
+		if !diverged {
+			for _, name := range shared {
+				if a.Metrics[name][i] != b.Metrics[name][i] {
+					diverged = true
+					break
+				}
+			}
+		}
+		if !diverged {
+			continue
+		}
+		t.FirstDivergent = i
+		t.CycleEnd = a.Cycles[i]
+		av := make(map[string]float64, len(shared))
+		bv := make(map[string]float64, len(shared))
+		for _, name := range shared {
+			av[name] = a.Metrics[name][i]
+			bv[name] = b.Metrics[name][i]
+		}
+		t.Columns, _, _ = RankDeltas(av, bv)
+		return t
+	}
+	if t.WindowsA != t.WindowsB {
+		t.FirstDivergent = n
+		if n < t.WindowsA {
+			t.CycleEnd = a.Cycles[n]
+		} else if n < t.WindowsB {
+			t.CycleEnd = b.Cycles[n]
+		}
+	}
+	return t
+}
+
+// SnapshotDiff is the structural comparison of two full metrics snapshots:
+// scalar metric deltas ranked by relative magnitude, names present in only
+// one run, and — when the snapshots carry them — the digest-chain and
+// timeline localizations.
+type SnapshotDiff struct {
+	CyclesA uint64 `json:"cycles_a"`
+	CyclesB uint64 `json:"cycles_b"`
+	// Added/Removed are metric names present in only one snapshot (B only
+	// / A only).
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+	// Deltas ranks the differing shared metrics by relative magnitude.
+	// Counters map through unchanged; gauges keep their name; histograms
+	// contribute "<name>:count" and "<name>:sum".
+	Deltas []MetricDelta `json:"deltas,omitempty"`
+	// Digests localizes the divergence when both snapshots carry digest
+	// chains (nil when neither does).
+	Digests *DigestDiff `json:"digests,omitempty"`
+	// Timeline localizes the divergence when both snapshots carry interval
+	// timelines (nil when neither does).
+	Timeline *TimelineDiff `json:"timeline,omitempty"`
+}
+
+// Identical reports whether the two snapshots are behaviorally identical:
+// equal ROI spans, no metric deltas, no added/removed names, and agreeing
+// digest chains/timelines where present.
+func (d *SnapshotDiff) Identical() bool {
+	return d.CyclesA == d.CyclesB && len(d.Deltas) == 0 &&
+		len(d.Added) == 0 && len(d.Removed) == 0 &&
+		d.Digests.Identical() && d.Timeline.Identical()
+}
+
+// FirstDivergentInterval returns the earliest interval window the diff can
+// pin the divergence to — the digest chain's localization when available,
+// the timeline's otherwise — or -1 when neither capture is present or
+// neither diverges.
+func (d *SnapshotDiff) FirstDivergentInterval() int {
+	if d.Digests != nil && d.Digests.FirstDivergent >= 0 {
+		return d.Digests.FirstDivergent
+	}
+	if d.Timeline != nil && d.Timeline.FirstDivergent >= 0 {
+		return d.Timeline.FirstDivergent
+	}
+	return -1
+}
+
+// flatten maps a snapshot's scalar metrics into one namespace: counters and
+// gauges under their registry names, histograms as "<name>:count" and
+// "<name>:sum". Gauge/counter namespaces never collide (the registry claims
+// names once), and ":" cannot appear in a registered name.
+func flatten(s *metrics.Snapshot) map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(s.Counters)+len(s.Gauges)+2*len(s.Histograms))
+	for name, v := range s.Counters {
+		out[name] = float64(v)
+	}
+	for name, v := range s.Gauges {
+		out[name] = v
+	}
+	for name, h := range s.Histograms {
+		out[name+":count"] = float64(h.Count)
+		out[name+":sum"] = float64(h.Sum)
+	}
+	return out
+}
+
+// DiffSnapshots structurally compares two snapshots: ranked scalar deltas,
+// added/removed names, and digest/timeline localization when both sides
+// carry those captures.
+func DiffSnapshots(a, b *metrics.Snapshot) *SnapshotDiff {
+	d := &SnapshotDiff{}
+	if a != nil {
+		d.CyclesA = a.Cycles
+	}
+	if b != nil {
+		d.CyclesB = b.Cycles
+	}
+	d.Deltas, d.Added, d.Removed = RankDeltas(flatten(a), flatten(b))
+	if (a != nil && a.Digests != nil) || (b != nil && b.Digests != nil) {
+		var da, db *metrics.DigestChain
+		if a != nil {
+			da = a.Digests
+		}
+		if b != nil {
+			db = b.Digests
+		}
+		d.Digests = DiffDigests(da, db)
+	}
+	if (a != nil && a.Timeline != nil) || (b != nil && b.Timeline != nil) {
+		var ta, tb *metrics.TimelineSnapshot
+		if a != nil {
+			ta = a.Timeline
+		}
+		if b != nil {
+			tb = b.Timeline
+		}
+		d.Timeline = DiffTimelines(ta, tb)
+	}
+	return d
+}
+
+// WriteText renders the diff human-readably: localization first, then names
+// present on only one side, then the top topK metric deltas (0 = 10).
+func (d *SnapshotDiff) WriteText(w io.Writer, topK int) error {
+	if topK <= 0 {
+		topK = 10
+	}
+	if d.Identical() {
+		_, err := fmt.Fprintln(w, "snapshots are identical")
+		return err
+	}
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	if d.CyclesA != d.CyclesB {
+		p("ROI cycles            %d -> %d (%+d)\n", d.CyclesA, d.CyclesB, int64(d.CyclesB)-int64(d.CyclesA))
+	}
+	if dd := d.Digests; dd != nil && dd.FirstDivergent >= 0 {
+		p("first divergent interval  %d (window %d..%d cycles, digest %s vs %s)\n",
+			dd.FirstDivergent, dd.WindowStart, dd.WindowEnd, orNone(dd.DigestA), orNone(dd.DigestB))
+	} else if td := d.Timeline; td != nil && td.FirstDivergent >= 0 {
+		p("first divergent interval  %d (timeline window ending at %d cycles)\n",
+			td.FirstDivergent, td.CycleEnd)
+	}
+	if len(d.Added) > 0 {
+		p("added metrics (%d):   %s\n", len(d.Added), joinMax(d.Added, 8))
+	}
+	if len(d.Removed) > 0 {
+		p("removed metrics (%d): %s\n", len(d.Removed), joinMax(d.Removed, 8))
+	}
+	if len(d.Deltas) > 0 {
+		n := topK
+		if n > len(d.Deltas) {
+			n = len(d.Deltas)
+		}
+		p("top metric deltas (%d of %d differing):\n", n, len(d.Deltas))
+		for _, md := range d.Deltas[:n] {
+			p("  %s\n", md)
+		}
+	}
+	if td := d.Timeline; td != nil && td.FirstDivergent >= 0 && len(td.Columns) > 0 {
+		n := topK
+		if n > len(td.Columns) {
+			n = len(td.Columns)
+		}
+		p("timeline columns diverging in window %d (%d of %d):\n", td.FirstDivergent, n, len(td.Columns))
+		for _, md := range td.Columns[:n] {
+			p("  %s\n", md)
+		}
+	}
+	return err
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+// joinMax joins up to max names, eliding the rest with a count.
+func joinMax(names []string, max int) string {
+	if len(names) <= max {
+		out := ""
+		for i, n := range names {
+			if i > 0 {
+				out += ", "
+			}
+			out += n
+		}
+		return out
+	}
+	return joinMax(names[:max], max) + fmt.Sprintf(", ... (%d more)", len(names)-max)
+}

@@ -50,6 +50,10 @@ type Options struct {
 	Timeline        bool
 	Interval        uint64
 	TimelineMetrics []string
+	// Digests enables interval digest chains in every run (see
+	// system.Config.Digests): one chained registry digest per interval
+	// window, for run comparison and divergence localization.
+	Digests bool
 	// SelfProfile attaches host-side simulator profiling to every run
 	// (Result.Host). Host readings are non-deterministic.
 	SelfProfile bool
@@ -91,6 +95,7 @@ func (o Options) BaseConfig() system.Config {
 	cfg.Timeline = o.Timeline
 	cfg.Interval = o.Interval
 	cfg.TimelineMetrics = o.TimelineMetrics
+	cfg.Digests = o.Digests
 	cfg.SelfProfile = o.SelfProfile
 	cfg.FastForward = !o.NoFastForward
 	cfg.Engine = o.Engine

@@ -6,10 +6,11 @@ import (
 )
 
 // checkObsBoundary enforces the observability boundary: host-side
-// introspection (internal/obs) and structured logging (log/slog) are
-// one-way consumers of the model. A model package importing either would
-// let host-side, wall-clock-coupled machinery leak into simulation state,
-// so both imports are banned outright in contract scope.
+// introspection (internal/obs), divergence diagnosis (internal/diag), and
+// structured logging (log/slog) are one-way consumers of the model. A model
+// package importing any of them would let host-side, wall-clock-coupled
+// machinery leak into simulation state, so the imports are banned outright
+// in contract scope.
 func checkObsBoundary(mod *Module, cfg *Config) []Diagnostic {
 	var diags []Diagnostic
 	for _, p := range mod.Sorted() {
@@ -25,6 +26,8 @@ func checkObsBoundary(mod *Module, cfg *Config) []Diagnostic {
 					msg = "model package imports log/slog; structured logging is host-side only — model state must surface through metrics and Results"
 				case ipath == "internal/obs" || strings.HasSuffix(ipath, "/internal/obs"):
 					msg = "model package imports " + ipath + "; observability observes the model, never the reverse — attach manifests and trackers at the harness/CLI layer"
+				case ipath == "internal/diag" || strings.HasSuffix(ipath, "/internal/diag"):
+					msg = "model package imports " + ipath + "; divergence diagnosis consumes snapshots and digest chains the model produces — diff and bisect at the harness/CLI layer"
 				default:
 					continue
 				}

@@ -9,6 +9,9 @@ var fakeObs = map[string]map[string]string{
 type RunTracker struct{}
 func NewRunTracker() *RunTracker
 `},
+	"m/internal/diag": {"diag.go": `package diag
+func DiffSnapshots(a, b any) any
+`},
 	"log/slog": {"slog.go": `package slog
 type Logger struct{}
 func (l *Logger) Info(msg string, args ...any)
@@ -21,18 +24,21 @@ func TestObsBoundaryFlagsModelImports(t *testing.T) {
 
 import (
 	"log/slog"
+	"m/internal/diag"
 	"m/internal/obs"
 )
 
 func bad() {
 	slog.Default().Info("leak")
 	_ = obs.NewRunTracker()
+	_ = diag.DiffSnapshots(nil, nil)
 }
 `
 	diags := lintSnippet(t, src, snippetConfig(), fakeObs)
 	wantDiags(t, diags,
 		[2]any{"obsboundary", 4},
 		[2]any{"obsboundary", 5},
+		[2]any{"obsboundary", 6},
 	)
 }
 
@@ -47,12 +53,14 @@ func ok() {}
 
 import (
 	"log/slog"
+	"m/internal/diag"
 	"m/internal/obs"
 )
 
 func use() {
 	slog.Default().Info("host-side")
 	_ = obs.NewRunTracker()
+	_ = diag.DiffSnapshots(nil, nil)
 }
 `
 	extra := map[string]map[string]string{

@@ -141,6 +141,19 @@ type Registry struct {
 	tlEvery   uint64
 	tlCycles  []uint64
 
+	// Interval digest-chain state (digest.go): sorted fold orders fixed at
+	// BeginDigests, the schema digest, and the collected chain.
+	digActive     bool
+	digStart      uint64
+	digLast       uint64
+	digEvery      uint64
+	digSchema     uint64
+	digCycles     []uint64
+	digests       []uint64
+	digCounterIdx []int
+	digGaugeIdx   []int
+	digHistIdx    []int
+
 	marked       bool
 	markCycle    uint64
 	baseCounters []uint64
@@ -244,6 +257,11 @@ func (r *Registry) MarkROI(now uint64) {
 		// ROI boundary (the engine hook is re-anchored by the caller).
 		r.BeginTimeline(now, r.tlEvery)
 	}
+	if r.digActive {
+		// Same for an active digest chain: warmup windows are discarded so
+		// the chain covers exactly the measured region.
+		r.BeginDigests(now, r.digEvery)
+	}
 	r.marked = true
 	r.markCycle = now
 	r.baseCounters = make([]uint64, len(r.counters))
@@ -270,6 +288,7 @@ func (r *Registry) Snapshot(now uint64) *Snapshot {
 		Window:   r.window,
 		Counters: make(map[string]uint64, len(r.counters)),
 		Timeline: r.timelineSnapshot(),
+		Digests:  r.digestSnapshot(),
 	}
 	if r.trace != nil || r.spans != nil {
 		s.Trace = &TraceSummary{

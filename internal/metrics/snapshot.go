@@ -20,6 +20,10 @@ type Snapshot struct {
 	// Timeline is the interval time-series capture (present only when the
 	// timeline was enabled): per-interval columns aligned to the ROI.
 	Timeline *TimelineSnapshot `json:"timeline,omitempty"`
+	// Digests is the interval digest chain (present only when digests were
+	// enabled): one chained registry digest per interval window, the
+	// divergence-localization primitive diag builds on.
+	Digests *DigestChain `json:"digests,omitempty"`
 }
 
 // TraceSummary reports how much of the run's event and span history the

@@ -81,24 +81,26 @@ func (r *Registry) BeginTimeline(now, every uint64) {
 // TimelineActive reports whether BeginTimeline has been called.
 func (r *Registry) TimelineActive() bool { return r.tlActive }
 
-// SampleInterval closes the window ending at cycle now, appending one value
-// per registered timeline metric. The engine's interval hook calls it; it is
-// a no-op until BeginTimeline.
+// SampleInterval closes the interval window ending at cycle now: one value
+// per registered timeline metric (after BeginTimeline) and one chained
+// digest (after BeginDigests). The engine's interval hook calls it; each
+// capture is independently a no-op until its Begin.
 func (r *Registry) SampleInterval(now uint64) {
-	if !r.tlActive || now <= r.tlLast {
-		return
+	if r.tlActive && now > r.tlLast {
+		r.tlCycles = append(r.tlCycles, now-r.tlStart)
+		for i := range r.intervals {
+			e := &r.intervals[i]
+			e.values = append(e.values, e.sample(now))
+		}
+		r.tlLast = now
 	}
-	r.tlCycles = append(r.tlCycles, now-r.tlStart)
-	for i := range r.intervals {
-		e := &r.intervals[i]
-		e.values = append(e.values, e.sample(now))
-	}
-	r.tlLast = now
+	r.sampleDigest(now)
 }
 
-// FinishTimeline closes the final (possibly partial) window at cycle now, so
-// runs shorter than one interval still produce a timeline row. Call it once,
-// after the simulation's last cycle and before Snapshot.
+// FinishTimeline closes the final (possibly partial) window at cycle now —
+// timeline row and digest alike — so runs shorter than one interval still
+// produce one of each. Call it once, after the simulation's last cycle and
+// before Snapshot.
 func (r *Registry) FinishTimeline(now uint64) { r.SampleInterval(now) }
 
 // TimelineSnapshot is the collected timeline in serializable form: column

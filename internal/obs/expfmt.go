@@ -167,16 +167,24 @@ var (
 	nameOf   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
 )
 
+// leLabel extracts a _bucket sample's le label value.
+var leLabel = regexp.MustCompile(`le="((\\\\|\\"|\\n|[^"\\])*)"`)
+
 // ValidateExposition checks that r is a well-formed Prometheus text
 // exposition document: every line is a HELP/TYPE comment or a sample
-// matching the format's grammar, every sample's family was declared with a
-// TYPE first (histogram samples may use the _bucket/_sum/_count suffixes of
-// a declared histogram), and at least one sample is present. CI and the
-// package tests run it against the live /metrics output.
+// matching the format's grammar, every family is declared with TYPE at most
+// once and before its samples (histogram samples may use the
+// _bucket/_sum/_count suffixes of a declared histogram), every histogram
+// family with buckets includes the mandatory le="+Inf" bucket, and at least
+// one sample is present. CI and the package tests run it against the live
+// /metrics output.
 func ValidateExposition(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	declared := map[string]string{}
+	// bucketFams tracks histogram families that emitted _bucket samples and
+	// whether the mandatory +Inf bucket has been seen yet.
+	bucketFams := map[string]bool{}
 	samples := 0
 	for line := 1; sc.Scan(); line++ {
 		text := sc.Text()
@@ -184,6 +192,9 @@ func ValidateExposition(r io.Reader) error {
 		case text == "":
 		case strings.HasPrefix(text, "#"):
 			if m := typeLine.FindStringSubmatch(text); m != nil {
+				if _, dup := declared[m[1]]; dup {
+					return fmt.Errorf("exposition line %d: duplicate TYPE declaration for %q", line, m[1])
+				}
 				declared[m[1]] = m[2]
 			} else if !helpLine.MatchString(text) {
 				return fmt.Errorf("exposition line %d: malformed comment %q", line, text)
@@ -192,6 +203,13 @@ func ValidateExposition(r io.Reader) error {
 			name := nameOf.FindString(text)
 			if !familyDeclared(declared, name) {
 				return fmt.Errorf("exposition line %d: sample %q has no preceding TYPE declaration", line, name)
+			}
+			if base, ok := strings.CutSuffix(name, "_bucket"); ok && declared[base] == "histogram" {
+				inf := bucketFams[base]
+				if m := leLabel.FindStringSubmatch(text); m != nil && m[1] == "+Inf" {
+					inf = true
+				}
+				bucketFams[base] = inf
 			}
 			samples++
 		default:
@@ -203,6 +221,17 @@ func ValidateExposition(r io.Reader) error {
 	}
 	if samples == 0 {
 		return fmt.Errorf("exposition has no samples")
+	}
+	var missingInf []string
+	for fam, inf := range bucketFams {
+		if !inf {
+			missingInf = append(missingInf, fam)
+		}
+	}
+	if len(missingInf) > 0 {
+		sort.Strings(missingInf)
+		return fmt.Errorf("exposition histogram families missing the mandatory le=\"+Inf\" bucket: %s",
+			strings.Join(missingInf, ", "))
 	}
 	return nil
 }

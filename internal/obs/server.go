@@ -7,7 +7,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"time"
 )
+
+// sseKeepalivePeriod spaces the ": keepalive" comment frames an idle SSE
+// stream emits so proxies and clients can tell a quiet run from a dead
+// connection. A variable (not const) so tests can shrink it.
+var sseKeepalivePeriod = 15 * time.Second
 
 // Server is the opt-in HTTP introspection endpoint (-http on the CLIs):
 //
@@ -28,10 +34,10 @@ func NewServer(t *RunTracker) *Server {
 	s := &Server{tracker: t, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/metrics", s.metrics)
 	s.mux.HandleFunc("/runs", s.runs)
-	// Run keys contain slashes (e.g. "NOMAD/cact"), so the timeline route
-	// is parsed by hand rather than with a {key} pattern (which would stop
+	// Run keys contain slashes (e.g. "NOMAD/cact"), so the per-run routes
+	// are parsed by hand rather than with a {key} pattern (which would stop
 	// at the first slash).
-	s.mux.HandleFunc("/runs/", s.timeline)
+	s.mux.HandleFunc("/runs/", s.runSub)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -69,6 +75,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		"/metrics              Prometheus text exposition\n"+
 		"/runs                 run statuses (JSON)\n"+
 		"/runs/{key}/timeline  live interval timeline (SSE)\n"+
+		"/runs/{key}/digests   interval digest chain (JSON)\n"+
 		"/debug/pprof/         Go profiling\n")
 }
 
@@ -88,15 +95,47 @@ func (s *Server) runs(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(statuses)
 }
 
-// timeline serves /runs/{key}/timeline as Server-Sent Events: one
-// "data: {json TimelineRow}" event per interval window, history first, then
-// live rows until the run finishes or the client disconnects.
-func (s *Server) timeline(w http.ResponseWriter, r *http.Request) {
-	key, ok := strings.CutSuffix(strings.TrimPrefix(r.URL.Path, "/runs/"), "/timeline")
-	if !ok || key == "" {
-		http.NotFound(w, r)
+// runSub dispatches the per-run routes: /runs/{key}/timeline and
+// /runs/{key}/digests, where {key} itself contains slashes.
+func (s *Server) runSub(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/runs/")
+	if key, ok := strings.CutSuffix(rest, "/timeline"); ok && key != "" {
+		s.timeline(w, r, key)
 		return
 	}
+	if key, ok := strings.CutSuffix(rest, "/digests"); ok && key != "" {
+		s.digests(w, r, key)
+		return
+	}
+	http.NotFound(w, r)
+}
+
+// digests serves /runs/{key}/digests: the run's interval digest chain as
+// JSON, from the latest published snapshot. 404 until the run has published
+// a snapshot carrying digests (digest capture off, or no tick yet).
+func (s *Server) digests(w http.ResponseWriter, r *http.Request, key string) {
+	h := s.tracker.Handle(key)
+	if h == nil {
+		http.Error(w, fmt.Sprintf("unknown run %q", key), http.StatusNotFound)
+		return
+	}
+	snap := h.latest()
+	if snap == nil || snap.Digests == nil {
+		http.Error(w, fmt.Sprintf("run %q has no digest chain (enable -digests, or wait for the first interval)", key),
+			http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap.Digests)
+}
+
+// timeline serves /runs/{key}/timeline as Server-Sent Events: one
+// "data: {json TimelineRow}" event per interval window, history first, then
+// live rows until the run finishes or the client disconnects. Idle streams
+// carry ": keepalive" comment frames every sseKeepalivePeriod.
+func (s *Server) timeline(w http.ResponseWriter, r *http.Request, key string) {
 	h := s.tracker.Handle(key)
 	if h == nil {
 		http.Error(w, fmt.Sprintf("unknown run %q", key), http.StatusNotFound)
@@ -123,10 +162,15 @@ func (s *Server) timeline(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 	for _, row := range history {
+		if r.Context().Err() != nil {
+			return
+		}
 		if !emit(row) {
 			return
 		}
 	}
+	keepalive := time.NewTicker(sseKeepalivePeriod)
+	defer keepalive.Stop()
 	for {
 		select {
 		case row, ok := <-live:
@@ -136,6 +180,11 @@ func (s *Server) timeline(w http.ResponseWriter, r *http.Request) {
 			if !emit(row) {
 				return
 			}
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
 		case <-r.Context().Done():
 			return
 		}

@@ -333,10 +333,163 @@ g{name="hbm.gbs"} 1.5e+03
 		{"bad type", "# TYPE x banana\nx 1\n"},
 		{"no samples", "# HELP x X.\n# TYPE x gauge\n"},
 		{"unquoted label", "# TYPE x gauge\nx{a=b} 1\n"},
+		{"empty document", ""},
+		{"blank lines only", "\n\n\n"},
+		{"duplicate TYPE", "# TYPE x gauge\nx 1\n# TYPE x gauge\nx 2\n"},
+		{"duplicate TYPE different kind", "# TYPE x gauge\nx 1\n# TYPE x counter\nx 2\n"},
+		{"histogram missing +Inf", "# TYPE lat histogram\nlat_bucket{le=\"1\"} 2\nlat_sum 9\nlat_count 4\n"},
 	}
 	for _, b := range bad {
 		if err := ValidateExposition(strings.NewReader(b.doc)); err == nil {
 			t.Errorf("%s: accepted", b.name)
 		}
 	}
+
+	// A histogram family that emits no buckets at all (sum/count only) is
+	// legal; the +Inf requirement applies only once buckets appear.
+	noBuckets := "# TYPE lat histogram\nlat_sum 9\nlat_count 4\n"
+	if err := ValidateExposition(strings.NewReader(noBuckets)); err != nil {
+		t.Errorf("bucketless histogram rejected: %v", err)
+	}
+}
+
+// digestRegistry builds a registry with an active digest chain and one
+// sampled window ending at cycle 100.
+func digestRegistry(t *testing.T) *metrics.Registry {
+	t.Helper()
+	reg := metrics.NewRegistry(0)
+	reg.Counter("d.c")
+	reg.BeginDigests(0, 100)
+	reg.SampleInterval(100)
+	return reg
+}
+
+// TestDigestsEndpoint checks /runs/{key}/digests serves the latest
+// snapshot's chain and 404s when there is none.
+func TestDigestsEndpoint(t *testing.T) {
+	tracker := NewRunTracker()
+	h := tracker.Start("x/y", nil)
+	srv := httptest.NewServer(NewServer(tracker).Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	// Unknown run and no-snapshot-yet run both 404.
+	if code, _ := get("/runs/nope/digests"); code != http.StatusNotFound {
+		t.Errorf("unknown run status = %d, want 404", code)
+	}
+	if code, _ := get("/runs/x/y/digests"); code != http.StatusNotFound {
+		t.Errorf("no-snapshot status = %d, want 404", code)
+	}
+
+	// A run publishing digest-less snapshots still 404s.
+	plain := metrics.NewRegistry(0)
+	plain.Counter("p.c")
+	h.Observe(system.Progress{Phase: "roi", Cycle: 100, Done: 1, Target: 4}, plain)
+	if code, _ := get("/runs/x/y/digests"); code != http.StatusNotFound {
+		t.Errorf("digest-less snapshot status = %d, want 404", code)
+	}
+
+	// With digests enabled the chain comes back as JSON.
+	h2 := tracker.Start("x/z", nil)
+	h2.Observe(system.Progress{Phase: "roi", Cycle: 100, Done: 1, Target: 4}, digestRegistry(t))
+	code, body := get("/runs/x/z/digests")
+	if code != http.StatusOK {
+		t.Fatalf("digests status = %d, want 200: %s", code, body)
+	}
+	var dc metrics.DigestChain
+	if err := json.Unmarshal(body, &dc); err != nil {
+		t.Fatalf("digests response not a chain: %v\n%s", err, body)
+	}
+	if dc.Windows() != 1 || dc.Interval != 100 || dc.Final() == "" {
+		t.Errorf("chain = %+v", dc)
+	}
+}
+
+// TestTimelineKeepalive shrinks the keepalive period and checks an idle
+// stream carries ": keepalive" comment frames.
+func TestTimelineKeepalive(t *testing.T) {
+	saved := sseKeepalivePeriod
+	sseKeepalivePeriod = 20 * time.Millisecond
+	defer func() { sseKeepalivePeriod = saved }()
+
+	tracker := NewRunTracker()
+	h := tracker.Start("x", nil)
+	defer h.Finish()
+	srv := httptest.NewServer(NewServer(tracker).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/runs/x/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines := make(chan string, 16)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed before any keepalive")
+			}
+			if line == ": keepalive" {
+				return
+			}
+		case <-deadline:
+			t.Fatal("no keepalive frame within 5s")
+		}
+	}
+}
+
+// TestTimelineClientDisconnect checks a dropped client promptly detaches
+// its subscription instead of leaking until the run finishes.
+func TestTimelineClientDisconnect(t *testing.T) {
+	tracker := NewRunTracker()
+	h := tracker.Start("x", nil)
+	defer h.Finish()
+	srv := httptest.NewServer(NewServer(tracker).Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/runs/x/timeline", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	subs := func() int {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return len(h.subs)
+	}
+	waitFor := func(want int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for subs() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: %d subscriptions, want %d", what, subs(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor(1, "after connect")
+	cancel()
+	waitFor(0, "after disconnect")
 }

@@ -216,6 +216,12 @@ func (e *Engine) SampleWindow() uint64 {
 // first firing is exactly `every` cycles from now: re-registering at the
 // region-of-interest boundary re-anchors the phase so interval windows align
 // with the measured region. A nil fn disables the hook.
+//
+// Boundary exactness is a contract: the hook fires at every elapsed
+// boundary with the boundary cycle as now, and fast-forward jumps never
+// pass nextInterval (tryJump bounds on it), so hook-driven captures — the
+// metrics timeline and the interval digest chains — observe identical
+// machine state at identical cycles across engines and fast-forward modes.
 func (e *Engine) SetInterval(every uint64, fn func(now uint64)) {
 	if fn == nil {
 		e.intervalFn = nil

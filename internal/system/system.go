@@ -94,6 +94,19 @@ type Config struct {
 	// TimelineMetrics restricts collected timeline columns to names
 	// matching these prefixes; empty collects the full default set.
 	TimelineMetrics []string
+	// Digests enables interval digest chains: every Interval cycles of the
+	// measured region, a chained FNV-1a digest of the full registry is
+	// folded into Snapshot.Digests. Chains are byte-identical across
+	// engines and fast-forward modes, same-seed, and localize a divergence
+	// between two runs to one interval window (see internal/diag).
+	Digests bool
+	// ROICycleLimit, when positive, ends the measured region successfully
+	// after exactly this many ROI cycles even if the retirement target has
+	// not been reached. Because the engine lands on the limit cycle
+	// exactly (fast-forward never overshoots a bound), the partial run's
+	// snapshot is a deterministic prefix of the full run's — the replay
+	// knob diag.Bisect uses to re-run just up to a divergent window.
+	ROICycleLimit uint64
 	// SelfProfile attaches a host-side profiler to the run: wall-clock
 	// simulated-cycles/sec, events/sec, heap-in-use, and GC pauses, in
 	// Result.Host. Host readings are inherently non-deterministic, so this
@@ -446,11 +459,16 @@ func (m *Machine) finishPhase() {
 }
 
 // runUntilRetired advances until every core has retired at least target
-// additional instructions (relative to the given baselines) or maxCycles
-// pass. It runs in sampling-window-sized chunks, checking ctx between
-// chunks, so cancellation is honoured within one window of simulated time.
+// additional instructions (relative to the given baselines), the absolute
+// engine cycle stopAt is reached (0 = no stop cycle; reaching it counts as
+// success), or maxCycles pass. It runs in sampling-window-sized chunks,
+// checking ctx between chunks, so cancellation is honoured within one
+// window of simulated time. Chunks are clamped to stopAt, and the engine
+// never oversteps a run bound (fast-forward jumps are bounded the same
+// way), so a stopAt run lands on that cycle exactly — the partial run is a
+// cycle-accurate prefix of the full one.
 // It returns false on timeout and a non-nil error only on cancellation.
-func (m *Machine) runUntilRetired(ctx context.Context, base []uint64, target uint64, maxCycles uint64) (bool, error) {
+func (m *Machine) runUntilRetired(ctx context.Context, base []uint64, target uint64, maxCycles, stopAt uint64) (bool, error) {
 	pred := func() bool {
 		for i, c := range m.cores {
 			if c.Stats().Instructions-base[i] < target {
@@ -472,6 +490,15 @@ func (m *Machine) runUntilRetired(ctx context.Context, base []uint64, target uin
 		step := chunk
 		if rem := maxCycles - elapsed; step > rem {
 			step = rem
+		}
+		if stopAt > 0 {
+			now := m.eng.Now()
+			if now >= stopAt {
+				return true, nil
+			}
+			if rem := stopAt - now; step > rem {
+				step = rem
+			}
 		}
 		if m.eng.RunUntil(pred, step) {
 			return true, nil
@@ -501,7 +528,7 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	base := make([]uint64, len(m.cores))
 	if cfg.WarmupInstructions > 0 {
 		m.setPhase("warmup", base, cfg.WarmupInstructions)
-		ok, err := m.runUntilRetired(ctx, base, cfg.WarmupInstructions, cfg.MaxCycles)
+		ok, err := m.runUntilRetired(ctx, base, cfg.WarmupInstructions, cfg.MaxCycles, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -518,11 +545,18 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	if cfg.Timeline {
 		m.reg.BeginTimeline(m.eng.Now(), m.interval())
 	}
+	if cfg.Digests {
+		m.reg.BeginDigests(m.eng.Now(), m.interval())
+	}
 	for i, c := range m.cores {
 		base[i] = c.Stats().Instructions
 	}
 	m.setPhase("roi", base, cfg.ROIInstructions)
-	ok, err := m.runUntilRetired(ctx, base, cfg.ROIInstructions, cfg.MaxCycles)
+	var stopAt uint64
+	if cfg.ROICycleLimit > 0 {
+		stopAt = m.eng.Now() + cfg.ROICycleLimit
+	}
+	ok, err := m.runUntilRetired(ctx, base, cfg.ROIInstructions, cfg.MaxCycles, stopAt)
 	if err != nil {
 		return nil, err
 	}

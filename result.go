@@ -242,6 +242,15 @@ func (r *Result) Timeline() *Timeline {
 	return r.metrics.Timeline
 }
 
+// Digests returns the interval digest-chain capture of the measured region,
+// or nil unless the run was configured with Telemetry.Digests.
+func (r *Result) Digests() *DigestChain {
+	if r.metrics == nil {
+		return nil
+	}
+	return r.metrics.Digests
+}
+
 // Host returns the simulator's own host-side performance profile, or nil
 // unless the run was configured with Config.SelfProfile.
 func (r *Result) Host() *HostProfile { return r.host }

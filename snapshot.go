@@ -33,6 +33,9 @@ type Snapshot struct {
 	// Timeline is the interval time-series capture; nil unless
 	// Config.Timeline was set.
 	Timeline *Timeline `json:"timeline,omitempty"`
+	// Digests is the interval digest chain; nil unless Telemetry.Digests
+	// was set.
+	Digests *DigestChain `json:"digests,omitempty"`
 }
 
 // TraceSummary counts what the trace rings captured during the ROI. Dropped
@@ -142,6 +145,62 @@ func (t *Timeline) MetricNames() []string {
 	return names
 }
 
+// DigestChain is the interval digest-chain capture of one run
+// (Telemetry.Digests): Digests[i] is a chained FNV-1a 64 digest (16 hex
+// digits) of the full metrics registry at the end of interval window i,
+// folding in Digests[i-1], so a behavioral divergence in any window
+// perturbs every later digest. Cycles[i] is that window's end relative to
+// StartCycle (the ROI boundary). Same-seed runs produce byte-identical
+// chains across engines and fast-forward modes; the first differing window
+// between two runs localizes their divergence (see cmd/nomaddiff).
+type DigestChain struct {
+	// Algo names the chain construction ("fnv64a-chain/1").
+	Algo string `json:"algo"`
+	// Interval is the window length in cycles.
+	Interval uint64 `json:"interval"`
+	// StartCycle is the absolute engine cycle the chain is anchored at.
+	StartCycle uint64 `json:"start_cycle"`
+	// Cycles holds window-end cycles relative to StartCycle.
+	Cycles []uint64 `json:"cycles"`
+	// Digests holds one 16-hex-digit chained digest per window.
+	Digests []string `json:"digests"`
+}
+
+// Windows returns the number of collected windows.
+func (d *DigestChain) Windows() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.Digests)
+}
+
+// Final returns the last digest in the chain ("" when empty): a one-value
+// answer to "did these runs behave identically end to end?".
+func (d *DigestChain) Final() string {
+	if d == nil || len(d.Digests) == 0 {
+		return ""
+	}
+	return d.Digests[len(d.Digests)-1]
+}
+
+// FirstDivergence returns the index of the first window where the two
+// chains disagree — different digest or different end cycle — or the
+// shorter length when one chain is a strict prefix of the other, or -1 when
+// they are identical. A nil chain is treated as empty.
+func (d *DigestChain) FirstDivergence(o *DigestChain) int {
+	return d.internal().FirstDivergence(o.internal())
+}
+
+func (d *DigestChain) internal() *metrics.DigestChain {
+	if d == nil {
+		return nil
+	}
+	return &metrics.DigestChain{
+		Algo: d.Algo, Interval: d.Interval, StartCycle: d.StartCycle,
+		Cycles: d.Cycles, Digests: d.Digests,
+	}
+}
+
 func fromSnapshot(s *metrics.Snapshot) *Snapshot {
 	if s == nil {
 		return nil
@@ -181,6 +240,15 @@ func fromSnapshot(s *metrics.Snapshot) *Snapshot {
 			StartCycle: s.Timeline.StartCycle,
 			Cycles:     s.Timeline.Cycles,
 			Metrics:    s.Timeline.Metrics,
+		}
+	}
+	if s.Digests != nil {
+		out.Digests = &DigestChain{
+			Algo:       s.Digests.Algo,
+			Interval:   s.Digests.Interval,
+			StartCycle: s.Digests.StartCycle,
+			Cycles:     s.Digests.Cycles,
+			Digests:    s.Digests.Digests,
 		}
 	}
 	return out
