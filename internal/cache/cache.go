@@ -27,6 +27,8 @@ type Lower interface {
 }
 
 // Config describes one cache level.
+//
+//nomad:owner host
 type Config struct {
 	Name    string
 	Sets    int
@@ -44,6 +46,8 @@ func (c Config) SizeBytes() uint64 {
 }
 
 // Stats counts per-level events.
+//
+//nomad:owner core
 type Stats struct {
 	Hits         uint64
 	Misses       uint64
@@ -70,6 +74,9 @@ const invalidTag = ^uint64(0)
 // wayMeta is the per-way state other than the tag. Tags live in their own
 // packed uint64 array so the per-lookup way scan touches a couple of cache
 // lines instead of every way's full record.
+//
+//nomad:owner core
+//nomad:ephemeral per-way tag metadata; divergence surfaces in the registered hit/miss and writeback counters
 type wayMeta struct {
 	lru   uint64
 	dirty bool
@@ -83,6 +90,9 @@ type waiter struct {
 // mshr is one slot of the cache's fixed MSHR file. Slots live in a flat
 // array (cache-friendly scan, no map or per-miss allocation); fillFn is the
 // slot's permanent fill callback, built once at construction.
+//
+//nomad:owner core
+//nomad:ephemeral miss-status-register working state; divergence surfaces in the registered MSHR stall counters
 type mshr struct {
 	block   uint64
 	waiters []waiter
@@ -100,6 +110,8 @@ type mshr struct {
 // completion, carried across the lookup-latency delay by a prebuilt closure
 // instead of a fresh capture per access. retried marks re-admissions after
 // an MSHR stall (they skip hit/miss accounting).
+//
+//nomad:owner core
 type accessOp struct {
 	req     mem.Request
 	done    mem.Done
@@ -109,12 +121,15 @@ type accessOp struct {
 
 // Cache is one level. It is event-driven: Access schedules the lookup after
 // the configured latency.
+//
+//nomad:owner core
 type Cache struct {
 	cfg   Config
 	eng   *sim.Engine
 	lower Lower
 	// tags[set*Ways+way] holds each way's tag (invalidTag when empty);
 	// meta is the parallel dirty/LRU state.
+	//nomad:ephemeral SRAM pipeline working state; divergence surfaces in the registered hit/miss/writeback counters
 	tags []uint64
 	meta []wayMeta
 	// mshrFile is the fixed MSHR array. Allocation goes through mshrFreeIdx
@@ -122,25 +137,33 @@ type Cache struct {
 	// walks mshrActive, a compact array of the active slots' block numbers
 	// (mshrActiveIdx maps each entry back to its slot), so its length is
 	// the actual occupancy, not the file size.
-	mshrFile      []mshr
-	mshrActive    []uint64
+	mshrFile   []mshr
+	mshrActive []uint64
+	//nomad:ephemeral SRAM pipeline working state; divergence surfaces in the registered hit/miss/writeback counters
 	mshrActiveIdx []int32
-	mshrFreeIdx   []int32
+	//nomad:ephemeral SRAM pipeline working state; divergence surfaces in the registered hit/miss/writeback counters
+	mshrFreeIdx []int32
 	// ops is the accessOp freelist; wbReq and fillReq are scratch requests
 	// for writebacks and downstream fills (Lower.Access copies its
 	// argument, per its contract, so a single scratch per purpose suffices
 	// and keeps the miss path allocation-free — a local request would
 	// escape through the interface call).
-	ops     []*accessOp
-	wbReq   mem.Request
+	//nomad:ephemeral SRAM pipeline working state; divergence surfaces in the registered hit/miss/writeback counters
+	ops []*accessOp
+	//nomad:ephemeral SRAM pipeline working state; divergence surfaces in the registered hit/miss/writeback counters
+	wbReq mem.Request
+	//nomad:ephemeral SRAM pipeline working state; divergence surfaces in the registered hit/miss/writeback counters
 	fillReq mem.Request
 	// pending holds accesses stalled on MSHR exhaustion, serviced FIFO as
 	// MSHRs free; pendHead indexes the next one so pops keep the backing
 	// array (re-slicing would bleed capacity and force reallocations).
-	pending  []pendingAccess
+	//nomad:ephemeral SRAM pipeline working state; divergence surfaces in the registered hit/miss/writeback counters
+	pending []pendingAccess
+	//nomad:ephemeral SRAM pipeline working state; divergence surfaces in the registered hit/miss/writeback counters
 	pendHead int
-	lruTick  uint64
-	stats    Stats
+	//nomad:ephemeral SRAM pipeline working state; divergence surfaces in the registered hit/miss/writeback counters
+	lruTick uint64
+	stats   Stats
 	// mshrOcc samples MSHR occupancy at each allocation (nil until
 	// RegisterMetrics; Observe on nil is a no-op).
 	mshrOcc *metrics.Histogram

@@ -44,6 +44,8 @@ type Command struct {
 }
 
 // BackendConfig sizes the back-end hardware.
+//
+//nomad:owner host
 type BackendConfig struct {
 	// PCSHRs is the total number of page copy status registers.
 	PCSHRs int
@@ -107,6 +109,8 @@ func (c BackendConfig) normalized() BackendConfig {
 }
 
 // BackendStats counts back-end events.
+//
+//nomad:owner channel
 type BackendStats struct {
 	Fills      uint64
 	Writebacks uint64
@@ -152,6 +156,8 @@ type subEntry struct {
 	parkedAt uint64
 }
 
+//nomad:owner channel
+//nomad:ephemeral PCSHR working state; divergence surfaces in the registered backend.* counters and occupancy histograms
 type pcshr struct {
 	// b is the owning Backend: the register itself is the dram.Completer
 	// for its sub-block bursts, so issuing a read or write costs no
@@ -193,6 +199,8 @@ type pendingCmd struct {
 	done    mem.Done
 }
 
+//nomad:owner channel
+//nomad:ephemeral copy-buffer group working state; divergence surfaces in the registered buffer-wait counters and histograms
 type group struct {
 	regs     []*pcshr
 	freeBufs int
@@ -207,6 +215,8 @@ type group struct {
 
 // Backend is the NOMAD back-end hardware. HBM holds the DRAM cache; DDR is
 // the off-package memory.
+//
+//nomad:owner channel
 type Backend struct {
 	cfg    BackendConfig
 	eng    *sim.Engine
@@ -215,9 +225,11 @@ type Backend struct {
 	groups []group
 	// byCFN indexes active PCSHRs by CFN for O(1) access checks (models
 	// the CAM).
+	//nomad:ephemeral fill/writeback routing indexes; divergence surfaces in the registered backend.* counters
 	byCFN map[uint64]*pcshr
 	// byPFN indexes active *writeback* PCSHRs by PFN so physical-space
 	// accesses racing a writeback are serviced coherently.
+	//nomad:ephemeral fill/writeback routing indexes; divergence surfaces in the registered backend.* counters
 	byPFN map[uint64]*pcshr
 	stats BackendStats
 	// pcshrOcc samples register occupancy at each acceptance; bufInUse
@@ -292,6 +304,7 @@ func (b *Backend) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.CounterFunc(prefix+".accept_wait_sum", func() uint64 { return s.AcceptWaitSum })
 	reg.CounterFunc(prefix+".accept_count", func() uint64 { return s.AcceptCount })
 	reg.CounterFunc(prefix+".buffer_wait_sum", func() uint64 { return s.BufferWaitSum })
+	reg.CounterFunc(prefix+".pcshr_occupancy_sum", func() uint64 { return s.PCSHROccupancySum })
 	reg.SeriesFunc(prefix+".active_pcshrs", func(now uint64) float64 { return float64(b.ActivePCSHRs()) })
 	// Timeline column: per-interval PCSHR occupancy high-water. The peak is
 	// maintained at each allocation and read-and-reset once per window, so

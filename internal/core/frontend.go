@@ -51,6 +51,8 @@ type transferTracker interface {
 }
 
 // FrontendConfig parameterises the OS routines.
+//
+//nomad:owner host
 type FrontendConfig struct {
 	// TagMgmtLatency is the handler's critical-section occupancy: two
 	// dependent on-package reads plus synchronization, conservatively
@@ -110,6 +112,8 @@ func (c FrontendConfig) normalized() FrontendConfig {
 }
 
 // FrontendStats counts OS-routine events.
+//
+//nomad:owner channel
 type FrontendStats struct {
 	TagHits     uint64 // walks that found the page cached
 	TagMisses   uint64
@@ -145,6 +149,9 @@ func (s *FrontendStats) AvgTagMgmtLatency() float64 {
 
 // mutexSim models the cache_frame_management_mutex: a FIFO critical
 // section in simulated time.
+//
+//nomad:owner channel
+//nomad:ephemeral modeled lock word; contention surfaces in the registered OS-blocked cycle counters
 type mutexSim struct {
 	busy    bool
 	waiters []func()
@@ -172,20 +179,25 @@ func (m *mutexSim) unlock() {
 
 // Frontend implements the NOMAD OS routines (and, with Blocking set, the
 // TDC variant). It satisfies tlb.Walker and tlb.Directory.
+//
+//nomad:owner channel
 type Frontend struct {
-	cfg      FrontendConfig
-	eng      *sim.Engine
-	mm       *osmem.Manager
-	backend  FillBackend                                // non-blocking mode
+	cfg     FrontendConfig
+	eng     *sim.Engine
+	mm      *osmem.Manager
+	backend FillBackend // non-blocking mode
+	//nomad:ephemeral walk orchestration state; divergence surfaces in the registered frontend.* counters
 	tracker  transferTracker                            // backend's in-flight-fill view, if any
 	copier   func(srcPFN, dstCFN uint64, done mem.Done) // blocking fills
 	wbCopier func(srcCFN, dstPFN uint64, done mem.Done) // blocking writebacks
 	threads  []Thread
 	flusher  Flusher
 
+	//nomad:ephemeral walk orchestration state; divergence surfaces in the registered frontend.* counters
 	shootdowner Shootdowner
 
-	mu            mutexSim
+	mu mutexSim
+	//nomad:ephemeral walk orchestration state; divergence surfaces in the registered frontend.* counters
 	daemonRunning bool
 	stats         FrontendStats
 	// tagLat observes each tag miss handler's arrival-to-resume latency
@@ -194,11 +206,14 @@ type Frontend struct {
 	trace  *metrics.Trace
 
 	// walks is the freelist of pooled in-flight page-table walks.
+	//nomad:ephemeral walk orchestration state; divergence surfaces in the registered frontend.* counters
 	walks []*fwalkOp
 }
 
 // fwalkOp is one pooled in-flight walk, carried across the walk-latency
 // delay by its prebuilt fn callback.
+//
+//nomad:owner channel
 type fwalkOp struct {
 	coreID int
 	vaddr  uint64
@@ -304,6 +319,8 @@ func (f *Frontend) Manager() *osmem.Manager { return f.mm }
 
 // Walk implements tlb.Walker: the page-table walk plus, for cacheable
 // uncached pages, DC tag miss handling.
+//
+//nomad:port page-walk entry: the core-side TLB asks the channel-side OS engine to translate; becomes a cross-shard request
 func (f *Frontend) Walk(coreID int, vaddr uint64, done func(tlb.Entry)) {
 	op := f.getWalk()
 	op.coreID = coreID

@@ -43,6 +43,8 @@ type MemPort interface {
 }
 
 // Config sizes one core.
+//
+//nomad:owner host
 type Config struct {
 	Width    int // issue/retire width
 	ROBSize  int
@@ -58,6 +60,8 @@ func DefaultConfig() Config {
 }
 
 // Stats counts one core's progress and stalls.
+//
+//nomad:owner core
 type Stats struct {
 	Instructions uint64
 	Cycles       uint64
@@ -94,6 +98,8 @@ func (s *Stats) StallRatio() float64 {
 	return float64(s.OSBlockedCycles) / float64(s.Cycles)
 }
 
+//nomad:owner core
+//nomad:ephemeral load-queue slot working state; divergence surfaces in the registered stall-cause counters
 type loadSlot struct {
 	pos   uint64 // absolute instruction index
 	done  bool
@@ -106,35 +112,49 @@ type loadSlot struct {
 }
 
 // Core is one simulated CPU. Register it as a sim.Ticker.
+//
+//nomad:owner core
 type Core struct {
 	ID   int
 	cfg  Config
 	port MemPort
 	wl   *workload.Stream
 
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
 	insertSeq uint64 // next instruction index to insert
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
 	retireSeq uint64 // next instruction index to retire
 
-	loads     []loadSlot // ring, program order; cap = ROBSize
-	loadHead  int
+	loads []loadSlot // ring, program order; cap = ROBSize
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
+	loadHead int
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
 	loadCount int
-	inFlight  int // issued loads whose data has not returned
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
+	inFlight int // issued loads whose data has not returned
 
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
 	gapLeft uint64
-	memOp   *workload.Op // fetched op whose memory access is not yet inserted
-	opBuf   workload.Op
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
+	memOp *workload.Op // fetched op whose memory access is not yet inserted
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
+	opBuf workload.Op
 
 	// blockCount tracks overlapping indefinite suspensions (a core can
 	// have several tag misses in flight); blockedUntil handles
 	// fixed-duration suspensions. The thread runs only when both clear.
-	blockCount   int
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
+	blockCount int
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
 	blockedUntil uint64
 
 	// Span sampling: 1-in-sampleEvery loads (deterministic, by load
 	// sequence number) get a nonzero SpanID and emit latency spans.
-	spans       *metrics.SpanRing
+	spans *metrics.SpanRing
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
 	sampleEvery uint64
-	nowCycle    uint64 // current cycle, visible to load-done closures
+	//nomad:ephemeral ROB and load-queue working state; divergence surfaces in the registered instruction and stall counters
+	nowCycle uint64 // current cycle, visible to load-done closures
 
 	stats Stats
 }
@@ -186,6 +206,8 @@ func (c *Core) SetSpanTracing(spans *metrics.SpanRing, every uint64) {
 
 // Block suspends the thread until a matching Unblock (OS routine of unknown
 // duration, e.g. a TDC page copy). Calls nest.
+//
+//nomad:port thread scheduling: the channel-side OS engine suspends a core; becomes a core-shard control message
 func (c *Core) Block() {
 	if c.blockCount == 0 {
 		c.stats.OSBlockEvents++
@@ -206,6 +228,8 @@ func (c *Core) BlockFor(now, cycles uint64) {
 }
 
 // Unblock undoes one Block.
+//
+//nomad:port thread scheduling: the channel-side OS engine resumes a core; becomes a core-shard control message
 func (c *Core) Unblock() {
 	if c.blockCount == 0 {
 		panic("cpu: Unblock without Block")

@@ -83,6 +83,8 @@ func DDRConfig() Config {
 }
 
 // Stats accumulates device-wide counters.
+//
+//nomad:owner channel
 type Stats struct {
 	Reads  uint64
 	Writes uint64
@@ -131,6 +133,8 @@ type Completer interface {
 // request is pooled: Device.getRequest/release recycle instances through a
 // freelist, and completeFn is built once per instance so steady-state traffic
 // schedules completions without allocating.
+//
+//nomad:owner channel
 type request struct {
 	addr       uint64
 	row        uint64
@@ -147,6 +151,8 @@ type request struct {
 	priority   bool
 }
 
+//nomad:owner channel
+//nomad:ephemeral DRAM timing state; divergence surfaces in the registered row-hit/busy counters
 type bank struct {
 	openRow int64 // -1 = closed
 	readyAt uint64
@@ -157,6 +163,8 @@ type bank struct {
 	rowConflicts uint64
 }
 
+//nomad:owner channel
+//nomad:ephemeral DRAM timing state; divergence surfaces in the registered row-hit/busy counters
 type channel struct {
 	idx       int // channel index within the device (trace labels)
 	queue     []*request
@@ -167,12 +175,15 @@ type channel struct {
 
 // Device is one DRAM device instance bound to a simulation engine. It
 // registers itself as a ticker; callers enqueue requests with Access.
+//
+//nomad:owner channel
 type Device struct {
-	cfg     Config
-	eng     *sim.Engine
-	chans   []channel
-	stats   Stats
-	trace   *metrics.Trace
+	cfg   Config
+	eng   *sim.Engine
+	chans []channel
+	stats Stats
+	trace *metrics.Trace
+	//nomad:ephemeral DRAM device wiring and timing state; divergence surfaces in the registered channel counters
 	devID   uint64 // trace device tag (0 = hbm, 1 = ddr)
 	latHist *metrics.Histogram
 
@@ -183,10 +194,12 @@ type Device struct {
 	// queued counts requests waiting in all channel queues, so the
 	// per-cycle Tick skips the channel sweep entirely when nothing is
 	// waiting (the common cycle: in-flight bursts complete via events).
+	//nomad:ephemeral DRAM device wiring and timing state; divergence surfaces in the registered channel counters
 	queued int
 
 	// free is the request freelist. The device is single-threaded (engine
 	// discipline), so a plain slice beats sync.Pool and is deterministic.
+	//nomad:ephemeral DRAM device wiring and timing state; divergence surfaces in the registered channel counters
 	free []*request
 }
 

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fieldWrite is one mutation of struct state: a selector assignment, a
+// compound assignment or ++/--, an element store through a field
+// (c.tags[i] = v), or a whole-struct store through a pointer (*v = T{…},
+// field == "").
+type fieldWrite struct {
+	node  *cgNode // enclosing function; nil only for package-level code
+	pkg   *Package
+	tn    *types.TypeName
+	field string
+	pos   token.Pos
+	vals  []ast.Expr // value expressions stored (append unwrapped)
+}
+
+// accesses is the module-wide field-access index shared by the ownership
+// and state-coverage rules.
+type accesses struct {
+	writes       []fieldWrite
+	readsBy      map[*cgNode]map[fieldKey]bool
+	mutable      map[*types.TypeName]bool
+	wholeWritten map[*types.TypeName]bool
+	mutFields    map[fieldKey]token.Pos
+}
+
+type accCollector struct {
+	mod *Module
+	cg  *callGraph
+	acc *accesses
+	// skip marks selector nodes consumed as write targets so the read sweep
+	// does not double-count them.
+	skip map[ast.Expr]bool
+}
+
+// collectAccesses walks every function body and records field writes and
+// reads, attributed to the call-graph node they occur in.
+func collectAccesses(mod *Module, cg *callGraph) *accesses {
+	c := &accCollector{
+		mod: mod,
+		cg:  cg,
+		acc: &accesses{
+			readsBy:      map[*cgNode]map[fieldKey]bool{},
+			mutable:      map[*types.TypeName]bool{},
+			wholeWritten: map[*types.TypeName]bool{},
+			mutFields:    map[fieldKey]token.Pos{},
+		},
+		skip: map[ast.Expr]bool{},
+	}
+	for _, p := range mod.Sorted() {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				c.walkBody(p, cg.byFunc[fn], fd.Body)
+			}
+		}
+	}
+	return c.acc
+}
+
+func (c *accCollector) walkBody(p *Package, root *cgNode, body *ast.BlockStmt) {
+	cur := root
+	var nodeStack []ast.Node
+	var enclStack []*cgNode
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			top := nodeStack[len(nodeStack)-1]
+			nodeStack = nodeStack[:len(nodeStack)-1]
+			if _, ok := top.(*ast.FuncLit); ok {
+				cur = enclStack[len(enclStack)-1]
+				enclStack = enclStack[:len(enclStack)-1]
+			}
+			return true
+		}
+		nodeStack = append(nodeStack, n)
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if ln := c.cg.byLit[x]; ln != nil {
+				enclStack = append(enclStack, cur)
+				cur = ln
+			} else {
+				// Literal outside the graph (shouldn't happen for bodies we
+				// walk); keep attribution at the encloser.
+				enclStack = append(enclStack, cur)
+			}
+		case *ast.AssignStmt:
+			var vals []ast.Expr
+			if (x.Tok == token.ASSIGN || x.Tok == token.DEFINE) && len(x.Lhs) == len(x.Rhs) {
+				vals = x.Rhs
+			}
+			for i, lhs := range x.Lhs {
+				var v []ast.Expr
+				if vals != nil {
+					v = unwrapValues(p.Info, vals[i])
+				}
+				c.writeTarget(p, cur, lhs, v)
+			}
+		case *ast.IncDecStmt:
+			c.writeTarget(p, cur, x.X, nil)
+		case *ast.SelectorExpr:
+			if c.skip[x] {
+				return true
+			}
+			if tn, fname := structFieldOf(p.Info, x); tn != nil {
+				set := c.acc.readsBy[cur]
+				if set == nil {
+					set = map[fieldKey]bool{}
+					c.acc.readsBy[cur] = set
+				}
+				set[fieldKey{tn, fname}] = true
+			}
+		}
+		return true
+	})
+}
+
+// unwrapValues flattens an RHS into the value expressions actually stored:
+// append(x, a, b) stores a and b (and whatever x already held).
+func unwrapValues(info *types.Info, e ast.Expr) []ast.Expr {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if bi, ok := info.Uses[id].(*types.Builtin); ok && bi.Name() == "append" && len(call.Args) > 1 {
+				return call.Args[1:]
+			}
+		}
+	}
+	return []ast.Expr{e}
+}
+
+// writeTarget records the mutation an assignment target denotes, if any.
+func (c *accCollector) writeTarget(p *Package, cur *cgNode, lhs ast.Expr, vals []ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	switch x := lhs.(type) {
+	case *ast.SelectorExpr:
+		if tn, fname := structFieldOf(p.Info, x); tn != nil {
+			c.skip[x] = true
+			c.record(p, cur, tn, fname, x.Sel.Pos(), vals)
+		}
+	case *ast.IndexExpr:
+		// c.tags[i] = v, possibly nested (c.a[i][j] = v): the mutated state
+		// is the field holding the container.
+		base := ast.Unparen(x.X)
+		for {
+			ix, ok := base.(*ast.IndexExpr)
+			if !ok {
+				break
+			}
+			base = ast.Unparen(ix.X)
+		}
+		if sel, ok := base.(*ast.SelectorExpr); ok {
+			if tn, fname := structFieldOf(p.Info, sel); tn != nil {
+				c.skip[sel] = true
+				c.record(p, cur, tn, fname, sel.Sel.Pos(), vals)
+			}
+		}
+	case *ast.StarExpr:
+		// *v = T{…}: a whole-struct store through a pointer.
+		if tv, ok := p.Info.Types[x.X]; ok && tv.Type != nil {
+			if ptr, ok := tv.Type.Underlying().(*types.Pointer); ok {
+				if tn := namedStructOf(ptr.Elem()); tn != nil {
+					c.acc.writes = append(c.acc.writes, fieldWrite{node: cur, pkg: p, tn: tn, field: "", pos: x.Pos(), vals: vals})
+					c.acc.mutable[tn] = true
+					c.acc.wholeWritten[tn] = true
+				}
+			}
+		}
+	}
+}
+
+func (c *accCollector) record(p *Package, cur *cgNode, tn *types.TypeName, fname string, pos token.Pos, vals []ast.Expr) {
+	c.acc.writes = append(c.acc.writes, fieldWrite{node: cur, pkg: p, tn: tn, field: fname, pos: pos, vals: vals})
+	c.acc.mutable[tn] = true
+	key := fieldKey{tn, fname}
+	if _, ok := c.acc.mutFields[key]; !ok {
+		c.acc.mutFields[key] = pos
+	}
+}
+
+// structFieldOf resolves a selector to (declaring named struct, field name)
+// when it denotes a struct field access, else (nil, "").
+func structFieldOf(info *types.Info, sel *ast.SelectorExpr) (*types.TypeName, string) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	if tn := namedStructOf(s.Recv()); tn != nil {
+		return tn, s.Obj().Name()
+	}
+	return nil, ""
+}
+
+// namedStructOf dereferences pointers and returns the origin TypeName when
+// t is (a pointer to) a named struct type.
+func namedStructOf(t types.Type) *types.TypeName {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n.Origin().Obj()
+}

@@ -1,0 +1,147 @@
+package lint
+
+import "testing"
+
+// The call-graph edge cases pin the analyzer's resolution strategy: where it
+// is exact (static calls, method values handed to registrations), where it
+// is conservative (interface dispatch fans out to every implementer), and
+// where it deliberately stops (dynamic calls through stored func values —
+// the creator-domain rule — and files excluded by build constraints).
+
+func TestCallGraphInterfaceConservativeFallback(t *testing.T) {
+	// a.step calls through an interface; the analyzer cannot know the
+	// dynamic type, so it must fan out to every module implementer and
+	// flag the core->channel mutating call.
+	diags := lintSnippet(t, `package model
+
+type mutator interface{ bump() }
+
+//nomad:owner core
+type coreSide struct {
+	m mutator
+	n int
+}
+
+func (c *coreSide) step() {
+	c.n++
+	c.m.bump() // line 13: may dispatch to the channel-side implementer
+}
+
+//nomad:owner channel
+type chanSide struct{ x int }
+
+func (s *chanSide) bump() { s.x++ }
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags, [2]any{"ownership", 13})
+}
+
+func TestCallGraphDynamicCallStopsPropagation(t *testing.T) {
+	// A func value stored in a field and invoked later belongs to the
+	// domain that created it: invocation through the field must NOT leak
+	// the caller's domain into the callee (cross-domain delivery of
+	// callbacks is mediated by shared-owned queues by design).
+	diags := lintSnippet(t, `package model
+
+//nomad:owner channel
+type chanSide struct{ x int }
+
+func (s *chanSide) makeDone() func() {
+	return func() { s.x++ } // channel-created callback
+}
+
+//nomad:owner core
+type coreSide struct {
+	done func()
+	n    int
+}
+
+func (c *coreSide) arm(f func()) { c.done = f }
+
+func (c *coreSide) fire() {
+	c.n++
+	c.done() // dynamic: must not paint the callback core
+}
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags)
+}
+
+func TestCallGraphBuildTaggedFileExcluded(t *testing.T) {
+	// A violation behind a build tag the simulator does not ship with is
+	// invisible to the analyzer, matching the compiled build graph.
+	diags := lintSnippet(t, `package model
+
+//nomad:owner core
+type coreSide struct{ peer *chanSide }
+
+func (c *coreSide) idle() { _ = c.peer }
+
+//nomad:owner channel
+type chanSide struct{ x int }
+
+func (s *chanSide) step() { s.x++ }
+`, ownershipConfig("ownership"), map[string]map[string]string{
+		"m/model-extra": {"m/model/tagged.go": `//go:build debughooks
+
+package model
+
+func debugPoke(c *coreSide) { c.peer.x++ } // would be a violation
+`},
+	})
+	wantDiags(t, diags)
+}
+
+func TestCallGraphGenericsInstantiation(t *testing.T) {
+	// Generic structs are analyzed at their origin: two instantiations
+	// must produce one finding at the generic field declaration, and
+	// method bodies of instantiated types must resolve through Origin().
+	diags := lintSnippet(t, `package model
+
+//nomad:owner core
+type ring[T any] struct {
+	buf  []T
+	head int // line 6: mutated via both instantiations, flagged once
+}
+
+func (r *ring[T]) push(v T) {
+	r.buf = append(r.buf, v)
+	r.head++
+}
+
+//nomad:owner core
+//nomad:ephemeral fixture: instantiation driver state
+type driver struct {
+	a ring[int]
+	b ring[string]
+}
+
+func (d *driver) step() {
+	d.a.push(1)
+	d.b.push("s")
+}
+`, ownershipConfig("ownership", "statecover"), nil)
+	wantDiags(t, diags,
+		[2]any{"statecover", 5}, // ring.buf
+		[2]any{"statecover", 6}, // ring.head
+	)
+}
+
+func TestCallGraphStaticForwarderPropagation(t *testing.T) {
+	// Domain reachability must flow through plain (non-method) forwarder
+	// functions: core -> helper -> channel write is still a violation even
+	// though the helper itself is domainless.
+	diags := lintSnippet(t, `package model
+
+//nomad:owner core
+type coreSide struct{ peer *chanSide }
+
+func (c *coreSide) step() { poke(c.peer) }
+
+func poke(s *chanSide) { s.x++ } // line 8: reached from core
+
+//nomad:owner channel
+type chanSide struct{ x int }
+
+func (s *chanSide) own() { s.x++ }
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags, [2]any{"ownership", 8})
+}

@@ -62,6 +62,16 @@ func (idx *ignoreIndex) add(fset *token.FileSet, c *ast.Comment) {
 		})
 		return
 	}
+	if !substantiveReason(reason) {
+		// "-- ." or "-- ok" would otherwise read as a silent waiver; the
+		// justification is the reviewable record of why the rule is wrong
+		// here, so demand at least one real word.
+		idx.malformed = append(idx.malformed, Diagnostic{
+			Pos: pos, Rule: "directive",
+			Message: "ignore directive justification " + strconvQuote(reason) + " is not substantive; explain why the rule does not apply at this site",
+		})
+		return
+	}
 	if spec == "" {
 		idx.malformed = append(idx.malformed, Diagnostic{
 			Pos: pos, Rule: "directive",
@@ -115,6 +125,24 @@ func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
 	}
 	e, ok := lines[d.Pos.Line]
 	return ok && e.rules[d.Rule]
+}
+
+// substantiveReason accepts a justification only when it contains at least
+// one run of three or more letters — a real word, not punctuation or an
+// "ok"-style shrug.
+func substantiveReason(reason string) bool {
+	run := 0
+	for _, r := range reason {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+			run++
+			if run >= 3 {
+				return true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return false
 }
 
 func knownRule(r string) bool {

@@ -87,6 +87,52 @@ func stamp() time.Time {
 	}
 }
 
+func TestIgnoreTrivialReason(t *testing.T) {
+	// Punctuation or an "ok"-style shrug is not a justification: the
+	// directive is diagnosed and must not suppress.
+	for _, reason := range []string{".", "ok", "x", "-- --", "a b c"} {
+		diags := lintSnippet(t, `package model
+
+import "time"
+
+func stamp() time.Time {
+	//nomadlint:ignore wallclock -- `+reason+`
+	return time.Now()
+}
+`, snippetConfig(), nil)
+		var sawDirective, sawWallclock bool
+		for _, d := range diags {
+			switch d.Rule {
+			case "directive":
+				sawDirective = true
+				if !strings.Contains(d.Message, "not substantive") {
+					t.Errorf("reason %q: directive message = %q", reason, d.Message)
+				}
+			case "wallclock":
+				sawWallclock = true
+			}
+		}
+		if !sawDirective || !sawWallclock {
+			t.Errorf("reason %q: got %v, want directive + unsuppressed wallclock", reason, rulesOf(diags))
+		}
+	}
+}
+
+func TestIgnoreSubstantiveReasonAccepted(t *testing.T) {
+	// Three consecutive letters anywhere marks a real word; the directive
+	// parses and suppresses.
+	diags := lintSnippet(t, `package model
+
+import "time"
+
+func stamp() time.Time {
+	//nomadlint:ignore wallclock -- UI-only
+	return time.Now()
+}
+`, snippetConfig(), nil)
+	wantDiags(t, diags)
+}
+
 func TestIgnoreUnknownRule(t *testing.T) {
 	diags := lintSnippet(t, `package model
 

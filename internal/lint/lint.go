@@ -30,6 +30,8 @@ var RuleNames = []string{
 	"floatclock",
 	"poolalloc",
 	"obsboundary",
+	"ownership",
+	"statecover",
 	"directive",
 }
 
@@ -49,6 +51,16 @@ type Config struct {
 	// collected metric registrations are compared against (one
 	// "namespace<TAB>pattern" per line). Nil skips the comparison.
 	MetricInventory []string
+	// OwnershipPackages are the import-path suffixes where the
+	// interprocedural ownership and state-coverage rules apply: the model
+	// packages holding shardable simulation state (internal/metrics is model
+	// scope for the syntactic rules but hosts the observability machinery,
+	// so it is not ownership scope). Empty disables both rules.
+	OwnershipPackages []string
+	// OwnershipInventory, when non-nil, is the committed ownership
+	// inventory the live owner/port annotations are compared against. Nil
+	// skips the comparison.
+	OwnershipInventory []string
 }
 
 // DefaultConfig returns the contract for this repository: every package
@@ -72,6 +84,20 @@ func DefaultConfig() Config {
 			"internal/metrics",
 		},
 		AllowFiles: []string{"internal/metrics/hostprof.go"},
+		OwnershipPackages: []string{
+			"internal/sim",
+			"internal/mem",
+			"internal/dram",
+			"internal/cache",
+			"internal/core",
+			"internal/cpu",
+			"internal/osmem",
+			"internal/schemes",
+			"internal/tlb",
+			"internal/replacement",
+			"internal/workload",
+			"internal/system",
+		},
 	}
 }
 
@@ -92,6 +118,17 @@ func (c *Config) ruleEnabled(name string) bool {
 // scope.
 func (c *Config) isModel(modPath, ip string) bool {
 	for _, m := range c.ModelPackages {
+		if ip == modPath+"/"+m || ip == m {
+			return true
+		}
+	}
+	return false
+}
+
+// isOwnership reports whether the package at import path ip is in
+// ownership-analysis scope.
+func (c *Config) isOwnership(modPath, ip string) bool {
+	for _, m := range c.OwnershipPackages {
 		if ip == modPath+"/"+m || ip == m {
 			return true
 		}
@@ -147,6 +184,24 @@ func Run(mod *Module, cfg Config) []Diagnostic {
 	}
 	if cfg.ruleEnabled("obsboundary") {
 		diags = append(diags, checkObsBoundary(mod, &cfg)...)
+	}
+	// The interprocedural rules share one call graph and access index;
+	// both are gated on ownership scope being configured.
+	if len(cfg.OwnershipPackages) > 0 && (cfg.ruleEnabled("ownership") || cfg.ruleEnabled("statecover")) {
+		ann := parseAnnotations(mod)
+		for _, d := range ann.diags {
+			if cfg.ruleEnabled(d.Rule) {
+				diags = append(diags, d)
+			}
+		}
+		cg := buildCallGraph(mod, ann)
+		acc := collectAccesses(mod, cg)
+		if cfg.ruleEnabled("ownership") {
+			diags = append(diags, checkOwnership(mod, &cfg, ann, cg, acc)...)
+		}
+		if cfg.ruleEnabled("statecover") {
+			diags = append(diags, checkStateCover(mod, &cfg, ann, cg, acc)...)
+		}
 	}
 
 	kept := diags[:0]

@@ -126,6 +126,7 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.MetricInventory = EmbeddedInventory()
+	cfg.OwnershipInventory = EmbeddedOwnershipInventory()
 	diags := Run(mod, cfg)
 	for _, d := range diags {
 		t.Errorf("unexpected diagnostic: %s", d)
@@ -151,5 +152,27 @@ func TestInventoryMatchesTree(t *testing.T) {
 	want := strings.Join(EmbeddedInventory(), "\n")
 	if got != want {
 		t.Errorf("inventory drift; run `go run ./cmd/nomadlint -write-inventory ./...`\ncollected:\n%s\nembedded:\n%s", got, want)
+	}
+}
+
+// TestOwnershipInventoryMatchesTree is the same freshness guard for the
+// ownership inventory: the owner/port lines collected from the live tree
+// must equal the embedded ownership_inventory.txt.
+func TestOwnershipInventoryMatchesTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint is not a -short test")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadDir(root)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	got := strings.Join(OwnershipInventoryLines(mod), "\n")
+	want := strings.Join(EmbeddedOwnershipInventory(), "\n")
+	if got != want {
+		t.Errorf("ownership inventory drift; run `go run ./cmd/nomadlint -write-inventory ./...`\ncollected:\n%s\nembedded:\n%s", got, want)
 	}
 }

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// ownershipConfig scopes the interprocedural rules to the m/model overlay
+// package and restricts the run to the named families so snippets cannot
+// trip unrelated syntactic rules.
+func ownershipConfig(rules ...string) Config {
+	return Config{
+		ModelPackages:     []string{"model"},
+		OwnershipPackages: []string{"model"},
+		Rules:             rules,
+	}
+}
+
+func TestOwnershipUnannotatedMutableStruct(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+type counter struct { // line 3: mutable, unannotated
+	n int
+}
+
+func (c *counter) inc() { c.n++ }
+
+type frozen struct { // immutable: only read, never flagged
+	v int
+}
+
+func (f frozen) get() int { return f.v }
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags, [2]any{"ownership", 3})
+}
+
+func TestOwnershipAnnotatedCleanAndGrammar(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+//nomad:owner core
+type ok struct{ n int }
+
+func (o *ok) inc() { o.n++ }
+
+//nomad:owner planet
+type badDomain struct{ n int } // line 9: unknown domain (also unannotated)
+
+func (b *badDomain) inc() { b.n++ }
+
+//nomad:owner core
+//nomad:owner shared
+type dup struct{ n int } // duplicate annotation
+
+func (d *dup) inc() { d.n++ }
+
+//nomad:owner core
+type notStruct int // owner on a non-struct type
+
+//nomad:owner core
+func misplacedOwner() {}
+
+//nomad:port
+func reasonlessPort() {}
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags,
+		[2]any{"ownership", 8},  // unknown domain "planet"
+		[2]any{"ownership", 9},  // badDomain stays unannotated -> mutable without owner
+		[2]any{"ownership", 14}, // duplicate //nomad:owner
+		[2]any{"ownership", 19}, // owner on a non-struct type
+		[2]any{"ownership", 22}, // owner on a function
+		[2]any{"ownership", 25}, // port without a reason
+	)
+}
+
+func TestOwnershipCrossDomainWrite(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+//nomad:owner core
+type coreSide struct{ peer *chanSide }
+
+//nomad:owner channel
+type chanSide struct{ x int }
+
+func (c *coreSide) step() { c.peer.x++ } // line 9: core writes channel state
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags, [2]any{"ownership", 9})
+	if !strings.Contains(diags[0].Message, "//nomad:port") {
+		t.Errorf("message should point at the port mechanism: %s", diags[0].Message)
+	}
+}
+
+func TestOwnershipPortMediatesWrite(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+//nomad:owner core
+type coreSide struct{ peer *chanSide }
+
+//nomad:owner channel
+type chanSide struct{ x int }
+
+//nomad:port test crossing: core hands the value to the channel shard
+func (c *coreSide) step() { c.peer.x++ }
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags)
+}
+
+func TestOwnershipCrossDomainMutatingCall(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+//nomad:owner core
+type coreSide struct {
+	peer *chanSide
+	n    int
+}
+
+func (c *coreSide) step() {
+	c.n++
+	c.peer.bump() // line 11: core calls a mutating channel method
+}
+
+//nomad:owner channel
+type chanSide struct{ x int }
+
+func (s *chanSide) bump() { s.x++ }
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags, [2]any{"ownership", 11})
+}
+
+func TestOwnershipPortMediatesCall(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+//nomad:owner core
+type coreSide struct {
+	peer *chanSide
+	n    int
+}
+
+func (c *coreSide) step() {
+	c.n++
+	c.peer.bump()
+}
+
+//nomad:owner channel
+type chanSide struct{ x int }
+
+//nomad:port test crossing: the bump is a mediated shard message
+func (s *chanSide) bump() { s.x++ }
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags)
+}
+
+func TestOwnershipPooledRetention(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+// op is a pooled carrier recycled by its owning core shard.
+//
+//nomad:owner core
+type op struct{ v int }
+
+func (o *op) touch() { o.v++ }
+
+//nomad:owner channel
+type holder struct{ held *op }
+
+func (h *holder) keep(o *op) { h.held = o } // line 13: retains pooled ptr
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags, [2]any{"ownership", 13})
+	if !strings.Contains(diags[0].Message, "recycle") {
+		t.Errorf("message should explain the recycling hazard: %s", diags[0].Message)
+	}
+}
+
+func TestOwnershipIgnoreDirective(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+//nomad:owner core
+type coreSide struct{ peer *chanSide }
+
+//nomad:owner channel
+type chanSide struct{ x int }
+
+func (c *coreSide) step() {
+	//nomadlint:ignore ownership -- test fixture: crossing is mediated elsewhere
+	c.peer.x++
+}
+`, ownershipConfig("ownership"), nil)
+	wantDiags(t, diags)
+}
+
+func TestOwnershipInventoryDiff(t *testing.T) {
+	src := `package model
+
+//nomad:owner core
+type tracked struct{ n int }
+
+func (s *tracked) inc() { s.n++ }
+
+//nomad:port test crossing: fixture port
+func cross() {}
+`
+	cfg := ownershipConfig("ownership")
+	cfg.OwnershipInventory = []string{
+		"owner\tmodel\ttracked\tcore",
+		"port\tmodel\tcross\ttest crossing: fixture port",
+	}
+	wantDiags(t, lintSnippet(t, src, cfg, nil))
+
+	// A missing line is flagged at the annotation; a stale line is flagged
+	// positionlessly.
+	cfg.OwnershipInventory = []string{
+		"owner\tmodel\ttracked\tcore",
+		"owner\tmodel\tghost\tshared",
+	}
+	diags := lintSnippet(t, src, cfg, nil)
+	wantDiags(t, diags,
+		[2]any{"ownership", 0}, // stale "ghost" line, no position
+		[2]any{"ownership", 8}, // port annotation not in inventory
+	)
+	if !strings.Contains(diags[0].Message, "no longer annotated") {
+		t.Errorf("stale-line message: %s", diags[0].Message)
+	}
+}
+
+// TestOwnershipScopeGate: with no OwnershipPackages configured the
+// interprocedural rules do not run at all — the legacy snippet tests and
+// downstream Config users keep their behavior.
+func TestOwnershipScopeGate(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+`, snippetConfig(), nil)
+	wantDiags(t, diags)
+}

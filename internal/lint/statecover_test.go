@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// statecoverMetrics is the fake registry overlay shared by the coverage
+// snippets.
+func statecoverMetrics() map[string]map[string]string {
+	return map[string]map[string]string{
+		"m/internal/metrics": fakeStd["m/internal/metrics"],
+	}
+}
+
+func TestStateCoverUncoveredField(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "m/internal/metrics"
+
+//nomad:owner core
+type unit struct {
+	hits  uint64
+	depth int // line 8: mutated, never registered
+}
+
+func (u *unit) step() { u.hits++; u.depth++ }
+
+func register(r *metrics.Registry, u *unit) {
+	r.CounterFunc("unit.hits", func() uint64 { return u.hits })
+}
+`, ownershipConfig("statecover"), statecoverMetrics())
+	wantDiags(t, diags, [2]any{"statecover", 8})
+	if !strings.Contains(diags[0].Message, "//nomad:ephemeral") {
+		t.Errorf("message should name the escape hatch: %s", diags[0].Message)
+	}
+}
+
+func TestStateCoverEphemeralField(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "m/internal/metrics"
+
+//nomad:owner core
+type unit struct {
+	hits  uint64
+	depth int //nomad:ephemeral scratch cursor; divergence shows in hits
+}
+
+func (u *unit) step() { u.hits++; u.depth++ }
+
+func register(r *metrics.Registry, u *unit) {
+	r.CounterFunc("unit.hits", func() uint64 { return u.hits })
+}
+`, ownershipConfig("statecover"), statecoverMetrics())
+	wantDiags(t, diags)
+}
+
+func TestStateCoverEphemeralStruct(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+// scratch is working state with no registered counters at all.
+//
+//nomad:owner core
+//nomad:ephemeral pure working state; divergence surfaces downstream
+type scratch struct {
+	a int
+	b int
+}
+
+func (s *scratch) step() { s.a++; s.b++ }
+`, ownershipConfig("statecover"), statecoverMetrics())
+	wantDiags(t, diags)
+}
+
+func TestStateCoverEphemeralNeedsReason(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+//nomad:owner core
+type unit struct {
+	depth int //nomad:ephemeral
+}
+
+func (u *unit) step() { u.depth++ }
+`, ownershipConfig("statecover"), statecoverMetrics())
+	// The reasonless marker is diagnosed and does NOT exempt the field.
+	wantDiags(t, diags, [2]any{"statecover", 5}, [2]any{"statecover", 5})
+}
+
+func TestStateCoverExemptions(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "m/internal/metrics"
+
+// hostCfg is host-owned: never part of the deterministic snapshot.
+//
+//nomad:owner host
+type hostCfg struct{ runs int }
+
+func (h *hostCfg) bump() { h.runs++ }
+
+// wired holds only callback and metrics plumbing.
+//
+//nomad:owner core
+type wired struct {
+	cb   func()
+	hist *metrics.Histogram
+}
+
+func (w *wired) set(f func(), h *metrics.Histogram) { w.cb = f; w.hist = h }
+
+// unowned is the ownership rule's finding, not statecover's.
+type unowned struct{ n int }
+
+func (u *unowned) inc() { u.n++ }
+`, ownershipConfig("statecover"), statecoverMetrics())
+	wantDiags(t, diags)
+}
+
+func TestStateCoverMethodValueRegistration(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "m/internal/metrics"
+
+//nomad:owner core
+type unit struct{ hits uint64 }
+
+func (u *unit) step() { u.hits++ }
+
+func (u *unit) sample() uint64 { return u.hits }
+
+func register(r *metrics.Registry, u *unit) {
+	r.CounterFunc("unit.hits", u.sample) // method value as root
+}
+`, ownershipConfig("statecover"), statecoverMetrics())
+	wantDiags(t, diags)
+}
+
+func TestStateCoverTransitiveCoverage(t *testing.T) {
+	diags := lintSnippet(t, `package model
+
+import "m/internal/metrics"
+
+//nomad:owner core
+type unit struct{ hits uint64 }
+
+func (u *unit) step() { u.hits++ }
+
+func (u *unit) total() uint64 { return u.hits }
+
+func register(r *metrics.Registry, u *unit) {
+	// Coverage must follow the call graph out of the closure.
+	r.CounterFunc("unit.hits", func() uint64 { return u.total() })
+}
+`, ownershipConfig("statecover"), statecoverMetrics())
+	wantDiags(t, diags)
+}

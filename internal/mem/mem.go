@@ -179,6 +179,9 @@ func (c StallCause) String() string {
 // SpanID marks the 1-in-N sampled loads whose per-hop spans are recorded.
 // The issuing core allocates one Probe per in-flight load and reads Cause
 // each cycle the load blocks retirement.
+//
+//nomad:owner shared
+//nomad:ephemeral request descriptor payload; consumed and counted by the receiving engine
 type Probe struct {
 	// SpanID is nonzero only for span-sampled loads; it ties the span
 	// records of one access together across components.
@@ -193,6 +196,9 @@ type Probe struct {
 // Request is a single memory access. One Request flows from the core through
 // the SRAM hierarchy; below the LLC the scheme may spawn further Requests
 // (fills, metadata, writebacks) tagged with the appropriate Kind.
+//
+//nomad:owner shared
+//nomad:ephemeral request descriptor payload; consumed and counted by the receiving engine
 type Request struct {
 	// Addr is the byte address in the space indicated by Space. Above the
 	// TLB it is virtual; below it is physical or cache.

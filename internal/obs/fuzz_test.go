@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzValidateExposition feeds arbitrary documents to the exposition
+// validator. The properties under test: it never panics, and it is
+// deterministic — the same document always yields the same verdict and the
+// same error text (the validator is part of CI, where a flaky answer would
+// make runs irreproducible).
+func FuzzValidateExposition(f *testing.F) {
+	f.Add("")
+	f.Add("# HELP a b\n# TYPE a counter\na 1\n")
+	f.Add("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 4\nh_count 3\n")
+	f.Add("# TYPE a counter\n# TYPE a counter\na 1\n")
+	f.Add("a{label=\"v\\\"quoted\\\"\"} 1e9\n")
+	f.Add("no trailing newline 1")
+	f.Add("# malformed comment\n")
+	f.Add("sim_cycles 100\nsim_cycles 100\n")
+	f.Add(strings.Repeat("x 1\n", 100))
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		err1 := ValidateExposition(strings.NewReader(doc))
+		err2 := ValidateExposition(strings.NewReader(doc))
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("verdict not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil && err1.Error() != err2.Error() {
+			t.Fatalf("error text not deterministic: %q vs %q", err1, err2)
+		}
+	})
+}

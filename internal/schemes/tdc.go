@@ -17,12 +17,16 @@ import (
 // thread. Page copies from different cores proceed in parallel (only the
 // critical PTEs are locked) and no tag-management penalty is charged, which
 // isolates the blocking-vs-non-blocking comparison.
+//
+//nomad:owner channel
 type TDC struct {
-	eng            *sim.Engine
-	hbm, ddr       *dram.Device
-	mm             *osmem.Manager
-	frontend       *core.Frontend
-	stats          AccessStats
+	eng      *sim.Engine
+	hbm, ddr *dram.Device
+	mm       *osmem.Manager
+	//nomad:ephemeral tag-engine working state; divergence surfaces in the registered scheme counters
+	frontend *core.Frontend
+	stats    AccessStats
+	//nomad:ephemeral tag-engine working state; divergence surfaces in the registered scheme counters
 	inflightCopies int
 	spanTap
 }
@@ -69,6 +73,8 @@ func (t *TDC) Name() string { return "TDC" }
 // Access implements Scheme: with coupled tag-data management a tag hit
 // guarantees a data hit, so cache-space accesses go straight to the
 // on-package DRAM.
+//
+//nomad:port post-LLC access entry: the core side hands the request to the channel-side scheme engine; becomes a cross-shard queue push
 func (t *TDC) Access(req *mem.Request, done mem.Done) {
 	addr := mem.Untag(req.Addr)
 	if req.Write {

@@ -19,6 +19,8 @@ const (
 )
 
 // TiDConfig sizes the HW-based scheme.
+//
+//nomad:owner host
 type TiDConfig struct {
 	// CapacityBytes is the DRAM cache capacity (same on-package DRAM as
 	// the OS-managed schemes).
@@ -27,6 +29,8 @@ type TiDConfig struct {
 }
 
 // TiDStats counts HW-scheme events beyond AccessStats.
+//
+//nomad:owner channel
 type TiDStats struct {
 	Hits       uint64
 	Misses     uint64
@@ -44,6 +48,8 @@ func (s *TiDStats) MissRate() float64 {
 	return float64(s.Misses) / float64(t)
 }
 
+//nomad:owner channel
+//nomad:ephemeral tag array working state; divergence surfaces in the registered tid.* counters
 type tidLine struct {
 	tag   uint64
 	valid bool
@@ -57,6 +63,8 @@ type tidWaiter struct {
 	done  mem.Done
 }
 
+//nomad:owner channel
+//nomad:ephemeral tag MSHR working state; divergence surfaces in the registered tid.* counters
 type tidMSHR struct {
 	lineAddr uint64 // PA >> tidLineBits
 	set      uint64
@@ -79,17 +87,23 @@ type tidPending struct {
 // (Fig. 1a); misses are handled non-blocking by MSHRs with
 // critical-data-first early restart. This is the tag-management mechanism
 // of Unison Cache with a 1 KB line, 4 ways, and an ideal way predictor.
+//
+//nomad:owner channel
 type TiD struct {
 	eng      *sim.Engine
 	hbm, ddr *dram.Device
 	mm       *osmem.Manager
 	walk     uint64
 
-	sets     [][]tidLine
-	numSets  uint64
-	mshrs    map[uint64]*tidMSHR
-	maxMSHR  int
-	pending  []tidPending
+	//nomad:ephemeral tag-engine working state; divergence surfaces in the registered tid.* counters
+	sets    [][]tidLine
+	numSets uint64
+	//nomad:ephemeral tag-engine working state; divergence surfaces in the registered tid.* counters
+	mshrs   map[uint64]*tidMSHR
+	maxMSHR int
+	//nomad:ephemeral tag-engine working state; divergence surfaces in the registered tid.* counters
+	pending []tidPending
+	//nomad:ephemeral tag-engine working state; divergence surfaces in the registered tid.* counters
 	lruTick  uint64
 	metaBase uint64
 
@@ -146,6 +160,8 @@ func (t *TiD) metaAddr(set uint64) uint64 {
 // Access implements Scheme. All post-LLC traffic is physical-space (TiD
 // keeps conventional translation); the DC controller probes tags in the
 // on-package DRAM on every access.
+//
+//nomad:port post-LLC access entry: the core side hands the request to the channel-side scheme engine; becomes a cross-shard queue push
 func (t *TiD) Access(req *mem.Request, done mem.Done) {
 	addr := mem.Untag(req.Addr)
 	if req.Write {
@@ -350,6 +366,7 @@ func (t *TiD) Walker() tlb.Walker { return tidWalker{t} }
 
 type tidWalker struct{ t *TiD }
 
+//nomad:port page-walk entry: the core-side TLB asks the channel-side OS engine to translate; becomes a cross-shard request
 func (w tidWalker) Walk(coreID int, vaddr uint64, done func(tlb.Entry)) {
 	w.t.eng.Schedule(w.t.walk, func() {
 		vpn := mem.PageNum(vaddr)

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// byteProgram interprets a fuzz input as a deterministic scheduler program:
+// each byte picks a delay class, a handler re-schedule decision, or an
+// advance overshoot. Both schedulers consume the same byte stream in
+// dispatch order, so the first ordering divergence also derails the program
+// — exactly the snowballing property the seeded differential test relies
+// on, but with the fuzzer searching the program space instead of rand.
+type byteProgram struct {
+	data []byte
+	pos  int
+}
+
+func (p *byteProgram) next() byte {
+	if p.pos >= len(p.data) {
+		return 0
+	}
+	b := p.data[p.pos]
+	p.pos++
+	return b
+}
+
+// delay maps one byte onto the wheel's interesting delay classes:
+// same-cycle, hot-path, DRAM-ish, in-window, and overflow-calendar.
+func (p *byteProgram) delay() uint64 {
+	b := p.next()
+	switch b % 5 {
+	case 0:
+		return 0
+	case 1:
+		return uint64(b%16) + 1
+	case 2:
+		return uint64(b)*3 + 40
+	case 3:
+		return uint64(b)%(wheelSize-1) + 1
+	default:
+		return uint64(b)*97 + wheelSize
+	}
+}
+
+// run drives s through the byte program and returns the dispatch order and
+// every NextDue observation.
+func (p *byteProgram) run(s Scheduler) ([]int, []uint64) {
+	const maxEvents = 2000
+	var fired []int
+	var due []uint64
+	var now uint64
+	nextID := 0
+
+	var schedule func(at uint64)
+	schedule = func(at uint64) {
+		id := nextID
+		nextID++
+		s.ScheduleAt(at, func() {
+			fired = append(fired, id)
+			for p.next()%3 == 0 && nextID < maxEvents {
+				schedule(now + p.delay())
+			}
+		})
+	}
+
+	for i := 0; i < 4; i++ {
+		schedule(0)
+	}
+	for i := 0; i < 16; i++ {
+		schedule(p.delay())
+	}
+
+	for s.Pending() > 0 {
+		d := s.NextDue()
+		due = append(due, d)
+		target := d
+		switch p.next() % 4 {
+		case 0:
+			target = d + uint64(p.next())*uint64(wheelSize)/64
+		case 1:
+			target = d + uint64(p.next()%8)
+		}
+		if target < now {
+			target = now
+		}
+		now = target
+		s.Advance(now)
+		if p.next()%4 == 0 && nextID < maxEvents {
+			schedule(now + p.delay())
+			if p.next()%2 == 0 {
+				schedule(now)
+				s.Advance(now)
+			}
+		}
+	}
+	return fired, due
+}
+
+// FuzzSchedulerDifferential runs every fuzz input through the timing wheel
+// and the binary-heap oracle and requires identical dispatch order and
+// identical NextDue at every observation point — the determinism contract
+// TestSchedulerDifferential pins on fixed seeds, searched by the fuzzer.
+func FuzzSchedulerDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	seed := make([]byte, 256)
+	for i := range seed {
+		seed[i] = byte(i * 31)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hp := &byteProgram{data: data}
+		heapFired, heapDue := hp.run(NewHeapScheduler())
+		wp := &byteProgram{data: data}
+		wheelFired, wheelDue := wp.run(NewWheelScheduler())
+		if !reflect.DeepEqual(heapFired, wheelFired) {
+			i := 0
+			for i < len(heapFired) && i < len(wheelFired) && heapFired[i] == wheelFired[i] {
+				i++
+			}
+			t.Fatalf("dispatch order diverges at position %d (heap ran %d events, wheel %d)",
+				i, len(heapFired), len(wheelFired))
+		}
+		if !reflect.DeepEqual(heapDue, wheelDue) {
+			t.Fatalf("NextDue sequences diverge:\n heap:  %v\n wheel: %v", heapDue, wheelDue)
+		}
+	})
+}

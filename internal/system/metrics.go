@@ -54,6 +54,7 @@ func (m *Machine) registerMetrics() {
 		reg.CounterFunc(p+".cycles", func() uint64 { return s.Cycles })
 		reg.CounterFunc(p+".loads", func() uint64 { return s.Loads })
 		reg.CounterFunc(p+".stores", func() uint64 { return s.Stores })
+		reg.CounterFunc(p+".mem_ops", func() uint64 { return s.MemOps })
 		reg.CounterFunc(p+".os_blocked_cycles", func() uint64 { return s.OSBlockedCycles })
 		reg.CounterFunc(p+".mem_stall_cycles", func() uint64 { return s.MemStallCycles })
 		reg.CounterFunc(p+".front_stall_cycles", func() uint64 { return s.FrontStallCycles })
@@ -239,6 +240,7 @@ func registerDRAMIntervals(reg *metrics.Registry, prefix string, d *dram.Device)
 // the dc.hit_rate timeline column (fraction of post-LLC reads served from
 // cache space per interval — the DC hit rate, scheme-agnostic).
 func registerAccess(reg *metrics.Registry, a *schemes.AccessStats) {
+	//nomadlint:ignore ownership -- registration-time wiring: runs once at machine construction before any domain is live
 	a.Lat = reg.Histogram("scheme.read_latency")
 	reg.CounterFunc("scheme.reads", func() uint64 { return a.Reads })
 	reg.CounterFunc("scheme.read_latency_sum", func() uint64 { return a.ReadLatencySum })

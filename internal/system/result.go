@@ -10,6 +10,8 @@ import (
 // Result is the measured region-of-interest outcome of one run. All rates
 // use the 3.2 GHz clock. The scalar fields are derived views over Metrics,
 // the full ROI stats snapshot.
+//
+//nomad:owner host
 type Result struct {
 	Scheme   SchemeName
 	Workload string
@@ -96,6 +98,8 @@ type Result struct {
 // The invariant Compute+TagMiss+Frontend+ΣMem == Cycles×Cores holds exactly:
 // each stalled cycle is attributed to the oldest outstanding load's current
 // position in the memory system, and Compute absorbs the rest.
+//
+//nomad:owner host
 type CPIStack struct {
 	// Compute is cycles the core retired work or was limited by issue
 	// width, not by the memory system or the OS.

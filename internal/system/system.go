@@ -46,6 +46,8 @@ func AllSchemes() []SchemeName {
 }
 
 // Config describes one simulated machine.
+//
+//nomad:owner host
 type Config struct {
 	Cores int
 	Core  cpu.Config
@@ -156,6 +158,9 @@ func DefaultConfig() Config {
 }
 
 // Machine is one assembled system.
+//
+//nomad:owner shared
+//nomad:ephemeral machine wiring and run-phase bookkeeping; every referenced component registers its own metrics
 type Machine struct {
 	cfg      Config
 	workload string
@@ -189,6 +194,8 @@ type Machine struct {
 
 // memOp is one pooled in-flight load or store, carried across the TLB
 // translation by its prebuilt fn callback.
+//
+//nomad:owner shared
 type memOp struct {
 	start  uint64
 	vaddr  uint64
@@ -250,6 +257,7 @@ func (t threadAdapter) Unblock() { t.c.Unblock() }
 // (L1s and L2s first, then the LLC, so dirty data funnels downward).
 type flusher struct{ m *Machine }
 
+//nomad:port migration flush: the channel-side OS engine invalidates core-side SRAM lines; becomes a barrier-synchronized broadcast
 func (f flusher) FlushFrame(cfn uint64) {
 	addr := mem.TagSpace(mem.FrameAddr(cfn), mem.SpaceCache)
 	for _, c := range f.m.l1s {

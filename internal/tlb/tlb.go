@@ -56,6 +56,8 @@ func DefaultConfig() Config {
 }
 
 // Stats counts translation events for one core's TLB.
+//
+//nomad:owner core
 type Stats struct {
 	L1Hits    uint64
 	L2Hits    uint64
@@ -72,11 +74,15 @@ func (s *Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(t)
 }
 
+//nomad:owner core
+//nomad:ephemeral TLB array working state; divergence surfaces in the registered hit/miss counters
 type slot struct {
 	e   Entry
 	lru uint64
 }
 
+//nomad:owner core
+//nomad:ephemeral TLB array working state; divergence surfaces in the registered hit/miss counters
 type level struct {
 	entries map[uint64]*slot
 	cap     int
@@ -134,6 +140,8 @@ func (l *level) invalidate(vpn uint64) (Entry, bool) {
 }
 
 // TLB is one core's translation state.
+//
+//nomad:owner core
 type TLB struct {
 	core   int
 	cfg    Config
@@ -142,6 +150,7 @@ type TLB struct {
 	dir    Directory
 	l1, l2 *level
 	// inFlight coalesces concurrent walks to the same VPN.
+	//nomad:ephemeral lookup/walk working state; divergence surfaces in the registered hit/miss and walk counters
 	inFlight map[uint64]*walkOp
 	stats    Stats
 	// walkLat records page-table-walk latency per walk (nil until
@@ -149,13 +158,17 @@ type TLB struct {
 	walkLat *metrics.Histogram
 	// hits is the freelist of pooled L2-hit completions (the deferred
 	// done(entry) call after the L2 latency), so L2 hits do not allocate.
+	//nomad:ephemeral lookup/walk working state; divergence surfaces in the registered hit/miss and walk counters
 	hits []*hitOp
 	// walks is the freelist of pooled in-flight page-table walks.
+	//nomad:ephemeral lookup/walk working state; divergence surfaces in the registered hit/miss and walk counters
 	walks []*walkOp
 }
 
 // hitOp is one pooled deferred L2-hit completion; fn is its permanent
 // scheduled callback.
+//
+//nomad:owner core
 type hitOp struct {
 	e    Entry
 	done func(Entry)
@@ -164,6 +177,8 @@ type hitOp struct {
 
 // walkOp is one pooled in-flight page-table walk: the coalesced waiter list
 // plus the walk's permanent completion callback fn, built once per instance.
+//
+//nomad:owner core
 type walkOp struct {
 	vpn     uint64
 	start   uint64

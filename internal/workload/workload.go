@@ -20,6 +20,8 @@ type Op struct {
 }
 
 // Spec parameterises one synthetic benchmark.
+//
+//nomad:owner host
 type Spec struct {
 	Name  string
 	Abbr  string
@@ -71,6 +73,9 @@ type Spec struct {
 func (s Spec) FootprintBytes() uint64 { return s.FootprintPages * 4096 }
 
 // rng is a splitmix64 generator: tiny, fast, and deterministic across runs.
+//
+//nomad:owner core
+//nomad:ephemeral deterministic xorshift state; the generated address stream is the observable record
 type rng struct{ s uint64 }
 
 func (r *rng) next() uint64 {
@@ -97,6 +102,9 @@ func (r *rng) intn(n uint64) uint64 {
 // Stream produces the access sequence of one core running a Spec. Streams
 // are infinite; the simulation decides when to stop. Distinct cores use
 // distinct seeds so their address phases differ.
+//
+//nomad:owner core
+//nomad:ephemeral synthetic stream cursor; the generated accesses drive every downstream counter
 type Stream struct {
 	spec Spec
 	r    rng
