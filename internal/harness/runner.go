@@ -64,6 +64,11 @@ type Options struct {
 	// the timing wheel; sim.KindHeap runs on the binary-heap oracle).
 	// Results are byte-identical across engines.
 	Engine sim.Kind
+	// Workers enables each run's parallel tick phase with that many workers
+	// (see system.Config.Workers); results are byte-identical at every
+	// worker count. Orthogonal to Parallelism, which bounds how many whole
+	// runs execute concurrently.
+	Workers int
 	// Progress, when non-nil, is called once per run with its key and must
 	// return a Machine.SetProgress callback (or nil). Callbacks fire on
 	// worker goroutines; system.ProgressPrinter returns a suitable one.
@@ -99,6 +104,7 @@ func (o Options) BaseConfig() system.Config {
 	cfg.SelfProfile = o.SelfProfile
 	cfg.FastForward = !o.NoFastForward
 	cfg.Engine = o.Engine
+	cfg.Workers = o.Workers
 	return cfg
 }
 
@@ -133,14 +139,19 @@ type Results map[string]*RunResult
 //
 // On failure every per-run error is collected and joined (errors.Join),
 // each annotated with its run key; the returned Results still holds every
-// run that completed, so callers may render partial output. Cancelling ctx
-// stops queued runs before they start and in-flight simulations at their
-// next sampling window; ctx.Err() is then reported once rather than per
-// run.
+// run that completed — including the partial result of a run cancelled
+// inside its measured region — so callers may render partial output.
+// Cancelling ctx stops queued runs before they start and in-flight
+// simulations at their next sampling window; ctx.Err() is then reported once
+// rather than per run.
 func Execute(ctx context.Context, opts Options, runs []Run) (Results, error) {
 	type outcome struct {
 		res *RunResult
 		err error
+		// key is the run's tracker-deduplicated identity ("" when the run
+		// never reached the tracker); progress callbacks, host logs, and
+		// /runs all agree on it.
+		key string
 	}
 	outcomes := make([]outcome, len(runs))
 	jobs := make(chan int)
@@ -161,9 +172,17 @@ func Execute(ctx context.Context, opts Options, runs []Run) (Results, error) {
 				}
 				man := obs.NewManifest(r.Cfg, r.Spec)
 				h := opts.Tracker.Start(r.Key, man) // nil-safe: nil tracker, nil handle
+				// The tracker may have suffixed a repeated key (#n); from
+				// here on the run's identity is the deduplicated key, so
+				// progress lines, host logs, and /runs never disagree about
+				// which run is which.
+				key := r.Key
+				if hk := h.Key(); hk != "" {
+					key = hk
+				}
 				var userFn func(system.Progress)
 				if opts.Progress != nil {
-					userFn = opts.Progress(r.Key)
+					userFn = opts.Progress(key)
 				}
 				if userFn != nil || h != nil {
 					reg := m.Metrics()
@@ -177,15 +196,15 @@ func Execute(ctx context.Context, opts Options, runs []Run) (Results, error) {
 				start := time.Now()
 				res, err := m.RunContext(ctx)
 				h.Finish()
+				o := outcome{err: err, key: key}
 				if res != nil {
-					outcomes[i] = outcome{res: &RunResult{
+					o.res = &RunResult{
 						Result:      res,
 						Manifest:    man,
 						WallSeconds: time.Since(start).Seconds(),
-					}, err: err}
-				} else {
-					outcomes[i] = outcome{err: err}
+					}
 				}
+				outcomes[i] = o
 			}
 		}()
 	}
@@ -199,18 +218,24 @@ func Execute(ctx context.Context, opts Options, runs []Run) (Results, error) {
 	var errs []error
 	for i, o := range outcomes {
 		r := runs[i]
-		switch {
-		case o.err != nil:
-			if !errors.Is(o.err, context.Canceled) && !errors.Is(o.err, context.DeadlineExceeded) {
-				errs = append(errs, fmt.Errorf("run %q: %w", r.Key, o.err))
-			}
-		case o.res != nil:
+		logKey := o.key
+		if logKey == "" {
+			logKey = r.Key
+		}
+		// A run can carry both a result and an error (cancelled mid-ROI):
+		// keep the partial result as documented, and report the error.
+		if o.res != nil {
 			results[r.Key] = o.res
-			if opts.Verbose && opts.Logger != nil {
-				opts.Logger.Info("run complete", "run", r.Key,
+			if opts.Verbose && opts.Logger != nil && o.err == nil {
+				opts.Logger.Info("run complete", "run", logKey,
 					"summary", o.res.Result.String(),
 					"wall_seconds", o.res.WallSeconds,
 					"manifest", o.res.Manifest.Address)
+			}
+		}
+		if o.err != nil {
+			if !errors.Is(o.err, context.Canceled) && !errors.Is(o.err, context.DeadlineExceeded) {
+				errs = append(errs, fmt.Errorf("run %q: %w", logKey, o.err))
 			}
 		}
 	}

@@ -45,6 +45,13 @@ type Config struct {
 	// e.g. "internal/metrics/hostprof.go") from the wallclock rule: these
 	// knowingly read host state and are documented as non-deterministic.
 	AllowFiles []string
+	// ConcurrencyAllowFiles exempts individual files (same suffix matching
+	// as AllowFiles) from the concurrency rule. The goroutine ban stays in
+	// force for every other model file: the single default entry is the
+	// parallel engine itself, whose worker pool synchronizes exclusively
+	// through its barrier atomics and is proven byte-identical to the
+	// sequential engine by the equivalence tests.
+	ConcurrencyAllowFiles []string
 	// Rules restricts the run to a subset of RuleNames; empty means all.
 	Rules []string
 	// MetricInventory, when non-nil, is the committed inventory the
@@ -83,7 +90,8 @@ func DefaultConfig() Config {
 			"internal/system",
 			"internal/metrics",
 		},
-		AllowFiles: []string{"internal/metrics/hostprof.go"},
+		AllowFiles:            []string{"internal/metrics/hostprof.go"},
+		ConcurrencyAllowFiles: []string{"internal/sim/parallel.go"},
 		OwnershipPackages: []string{
 			"internal/sim",
 			"internal/mem",
@@ -138,8 +146,20 @@ func (c *Config) isOwnership(modPath, ip string) bool {
 
 // fileAllowed reports whether filename is exempt from wallclock.
 func (c *Config) fileAllowed(filename string) bool {
+	return suffixMatch(filename, c.AllowFiles)
+}
+
+// concurrencyAllowed reports whether filename is exempt from the
+// concurrency rule.
+func (c *Config) concurrencyAllowed(filename string) bool {
+	return suffixMatch(filename, c.ConcurrencyAllowFiles)
+}
+
+// suffixMatch reports whether filename ends in one of the slash-separated
+// path suffixes.
+func suffixMatch(filename string, suffixes []string) bool {
 	f := path.Clean(strings.ReplaceAll(filename, "\\", "/"))
-	for _, a := range c.AllowFiles {
+	for _, a := range suffixes {
 		if strings.HasSuffix(f, "/"+a) || f == a {
 			return true
 		}

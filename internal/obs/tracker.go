@@ -25,15 +25,61 @@ const snapshotMinPeriod = 500 * time.Millisecond
 // tracker and each handle carry their own mutex; observation never blocks on
 // a slow reader.
 type RunTracker struct {
-	mu        sync.Mutex
-	runs      map[string]*RunHandle
-	order     []string
+	mu   sync.Mutex
+	runs map[string]*RunHandle
+	// order lists currently retained keys in registration order; finished
+	// lists completed keys oldest-first (the eviction queue).
+	order    []string
+	finished []string
+	// active/completed are explicit counters: completed is cumulative and
+	// survives eviction, active never depends on map size.
+	active    uint64
 	completed uint64
+	retain    int
 }
 
-// NewRunTracker returns an empty tracker.
+// DefaultCompletedRetention bounds how many completed runs a tracker keeps
+// by default. Long-lived servers register a run per simulation forever; the
+// status lines (and, between Observe throttles, registry snapshots) of
+// ancient runs are pure leak, so only the most recent completions stay
+// addressable.
+const DefaultCompletedRetention = 64
+
+// NewRunTracker returns an empty tracker retaining the last
+// DefaultCompletedRetention completed runs.
 func NewRunTracker() *RunTracker {
-	return &RunTracker{runs: map[string]*RunHandle{}}
+	return &RunTracker{runs: map[string]*RunHandle{}, retain: DefaultCompletedRetention}
+}
+
+// SetRetention bounds retained completed runs to the last k, evicting
+// oldest-first immediately and on every later Finish. k < 0 disables
+// eviction. Active runs are never evicted.
+func (t *RunTracker) SetRetention(k int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.retain = k
+	t.evictLocked()
+}
+
+// evictLocked drops the oldest completed runs beyond the retention bound.
+func (t *RunTracker) evictLocked() {
+	if t.retain < 0 {
+		return
+	}
+	for len(t.finished) > t.retain {
+		key := t.finished[0]
+		t.finished = t.finished[1:]
+		delete(t.runs, key)
+		for i, k := range t.order {
+			if k == key {
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // Start registers a run and returns its handle. Keys repeat across batches
@@ -52,6 +98,7 @@ func (t *RunTracker) Start(key string, man *Manifest) *RunHandle {
 	h := &RunHandle{t: t, key: key, man: man, started: time.Now()}
 	t.runs[key] = h
 	t.order = append(t.order, key)
+	t.active++
 	return h
 }
 
@@ -65,14 +112,15 @@ func (t *RunTracker) Handle(key string) *RunHandle {
 	return t.runs[key]
 }
 
-// Counts returns the number of active and completed runs.
+// Counts returns the number of active runs and the cumulative number of
+// completed runs (including completed runs already evicted from Statuses).
 func (t *RunTracker) Counts() (active, completed uint64) {
 	if t == nil {
 		return 0, 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return uint64(len(t.runs)) - t.completed, t.completed
+	return t.active, t.completed
 }
 
 // Statuses returns every tracked run's status in registration order.
@@ -276,13 +324,18 @@ func (h *RunHandle) latest() *metrics.Snapshot {
 }
 
 // Finish marks the run completed, closes subscriber streams, and releases
-// the published snapshot (completed runs keep only their status line).
-// Call it whether the run succeeded or failed.
+// the published snapshot (completed runs keep only their status line, and
+// only the tracker's most recent completions stay retained at all). Call it
+// whether the run succeeded or failed; repeated calls are no-ops.
 func (h *RunHandle) Finish() {
 	if h == nil {
 		return
 	}
 	h.mu.Lock()
+	if h.done {
+		h.mu.Unlock()
+		return
+	}
 	for _, ch := range h.subs {
 		close(ch)
 	}
@@ -291,7 +344,11 @@ func (h *RunHandle) Finish() {
 	h.rows = nil
 	h.done = true
 	h.mu.Unlock()
-	h.t.mu.Lock()
-	h.t.completed++
-	h.t.mu.Unlock()
+	t := h.t
+	t.mu.Lock()
+	t.active--
+	t.completed++
+	t.finished = append(t.finished, h.key)
+	t.evictLocked()
+	t.mu.Unlock()
 }

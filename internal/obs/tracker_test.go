@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTrackerEviction: completed runs beyond the retention bound are evicted
+// oldest-first, active runs are never evicted, and Counts stays consistent
+// (active by explicit counter, completed cumulative across evictions).
+func TestTrackerEviction(t *testing.T) {
+	tr := NewRunTracker()
+	tr.SetRetention(3)
+	live := tr.Start("live", nil)
+	for i := 0; i < 10; i++ {
+		tr.Start(fmt.Sprintf("r%d", i), nil).Finish()
+	}
+	if active, completed := tr.Counts(); active != 1 || completed != 10 {
+		t.Fatalf("Counts() = (%d, %d), want (1, 10)", active, completed)
+	}
+	st := tr.Statuses()
+	var keys []string
+	for _, s := range st {
+		keys = append(keys, s.Key)
+	}
+	want := []string{"live", "r7", "r8", "r9"}
+	if len(keys) != len(want) {
+		t.Fatalf("retained keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("retained keys = %v, want %v", keys, want)
+		}
+	}
+	if tr.Handle("r0") != nil {
+		t.Error("evicted run still addressable")
+	}
+	if tr.Handle("live") == nil {
+		t.Error("active run evicted")
+	}
+	live.Finish()
+	if active, completed := tr.Counts(); active != 0 || completed != 11 {
+		t.Fatalf("Counts() after final Finish = (%d, %d), want (0, 11)", active, completed)
+	}
+}
+
+// TestTrackerDoubleFinish: repeated Finish calls must not double-count or
+// underflow the active counter.
+func TestTrackerDoubleFinish(t *testing.T) {
+	tr := NewRunTracker()
+	h := tr.Start("a", nil)
+	h.Finish()
+	h.Finish()
+	if active, completed := tr.Counts(); active != 0 || completed != 1 {
+		t.Fatalf("Counts() = (%d, %d), want (0, 1)", active, completed)
+	}
+	b := tr.Start("b", nil)
+	if active, _ := tr.Counts(); active != 1 {
+		t.Fatalf("active = %d after new Start, want 1", active)
+	}
+	b.Finish()
+	if active, completed := tr.Counts(); active != 0 || completed != 2 {
+		t.Fatalf("Counts() = (%d, %d), want (0, 2)", active, completed)
+	}
+}
+
+// TestTrackerRetentionTightening: lowering the bound evicts immediately, and
+// a negative bound disables eviction.
+func TestTrackerRetentionTightening(t *testing.T) {
+	tr := NewRunTracker()
+	tr.SetRetention(-1)
+	for i := 0; i < 5; i++ {
+		tr.Start(fmt.Sprintf("r%d", i), nil).Finish()
+	}
+	if got := len(tr.Statuses()); got != 5 {
+		t.Fatalf("unlimited retention kept %d runs, want 5", got)
+	}
+	tr.SetRetention(1)
+	st := tr.Statuses()
+	if len(st) != 1 || st[0].Key != "r4" {
+		t.Fatalf("tightened retention kept %+v, want just r4", st)
+	}
+	if _, completed := tr.Counts(); completed != 5 {
+		t.Fatalf("completed = %d after eviction, want cumulative 5", completed)
+	}
+}
+
+// TestTrackerDefaultRetentionBounded: the zero-config tracker must not grow
+// without bound as a long-lived server registers runs.
+func TestTrackerDefaultRetentionBounded(t *testing.T) {
+	tr := NewRunTracker()
+	for i := 0; i < DefaultCompletedRetention*2; i++ {
+		tr.Start(fmt.Sprintf("r%d", i), nil).Finish()
+	}
+	if got := len(tr.Statuses()); got != DefaultCompletedRetention {
+		t.Fatalf("default tracker retains %d completed runs, want %d", got, DefaultCompletedRetention)
+	}
+}

@@ -1,0 +1,351 @@
+// Parallel execution mode: shard the per-cycle tick phase across worker
+// goroutines along the lint-enforced ownership domains, keeping the event
+// phase — and therefore the determinism contract — sequential.
+//
+// The ownership analysis (internal/lint, `//nomad:owner`) splits simulation
+// state into core-domain shards (cpu/tlb/L1-L2/workload per core),
+// channel-domain tickers (the DRAM devices), and shared-domain components
+// (LLC, scheme front/back-ends, OS memory manager). Core shards never read
+// each other's state inside Tick, and every cross-domain effect a core tick
+// can produce funnels through one of the `//nomad:port` mediation sites. The
+// parallel engine exploits exactly that structure:
+//
+//   - Each core shard is a facade Engine (NewShard) whose scheduler defers:
+//     during the tick phase every Schedule/At lands in the shard's ordered
+//     buffer instead of the shared event queue, and port-site calls that
+//     would touch shared state (page walks, store notifications, span
+//     emissions) are deferred through the same buffer via Defer.
+//   - Worker goroutines tick the shards concurrently; the coordinator joins
+//     them at a conservative barrier each cycle and replays every buffer in
+//     (shard index, intra-shard FIFO) order, which reassigns global event
+//     sequence numbers in exactly the order the sequential engine would have
+//     assigned them (sequential ticks run in registration order, and each
+//     tick's calls are FIFO within it).
+//   - Channel-domain tickers (DRAM devices) and the whole event phase run on
+//     the coordinator: DRAM issue writes core-owned latency-provenance
+//     probes and the shared trace ring at tick time, and the upward
+//     completion chains (fill -> L2 -> L1 -> core) are zero-latency
+//     synchronous, so the safe cross-domain lookahead is a single tick
+//     phase. The DRAM timing constants guarantee the other direction:
+//     every deferred call's first shared-side effect is an event at least
+//     the minimum cross-domain latency (walk latency, cache lookup
+//     latency, TRCD+TCL+TBL) in the future, so replaying it at the
+//     barrier — same cycle, same arguments — is indistinguishable from
+//     the inline call.
+//
+// The result is byte-identical to the sequential engine (snapshots,
+// timelines, Perfetto traces, digest chains), which
+// internal/system.TestParallelByteIdentical pins for every scheme and
+// worker count. See DESIGN.md, "Parallel engine".
+//
+// This file is the one place in the model allowed to use goroutines: the
+// nomadlint concurrency rule exempts it by name (Config.ConcurrencyAllowFiles)
+// precisely because the workers synchronize only through the epoch/done
+// atomics below and never touch the event queue.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"nomad/internal/check"
+)
+
+// deferredOp is one buffered effect of a shard's tick phase: either an event
+// to place on the shared queue (fn != nil) or a deferred cross-domain call
+// to invoke at the barrier (call != nil).
+//
+//nomad:owner shared
+//nomad:ephemeral tick-phase deferral record; its replay lands in engine state the digest chain records
+type deferredOp struct {
+	cycle uint64
+	fn    func()
+	call  func()
+}
+
+// shardSched is the scheduler facade a shard engine runs on. During the
+// parallel tick phase it buffers ScheduleAt calls in program order; outside
+// it (event phase, barrier replay, sequential setup) it forwards straight to
+// the root scheduler.
+//
+//nomad:owner shared
+//nomad:ephemeral tick-phase deferral buffer; replay lands in the root scheduler whose order the digest chain records
+type shardSched struct {
+	root *Engine
+	buf  []deferredOp
+}
+
+func (s *shardSched) Schedule(delay uint64, fn func()) {
+	s.ScheduleAt(s.root.now+delay, fn)
+}
+
+func (s *shardSched) ScheduleAt(cycle uint64, fn func()) {
+	if s.root.inTick {
+		s.buf = append(s.buf, deferredOp{cycle: cycle, fn: fn})
+		return
+	}
+	s.root.sched.ScheduleAt(cycle, fn)
+}
+
+func (s *shardSched) NextDue() uint64           { return s.root.sched.NextDue() }
+func (s *shardSched) Advance(now uint64) uint64 { return s.root.sched.Advance(now) }
+func (s *shardSched) Pending() int              { return s.root.sched.Pending() }
+
+// parWorker is one tick-phase worker: a static subset of the shards plus the
+// epoch handshake word it spins on. Padding keeps the hot atomics on
+// separate cache lines.
+//
+//nomad:owner host
+type parWorker struct {
+	shards []*Engine
+	_      [64]byte
+	done   atomic.Uint64
+	_      [64]byte
+}
+
+// stopEpoch is the epoch sentinel that shuts worker goroutines down.
+const stopEpoch = ^uint64(0)
+
+// parallelRunner drives the two-phase cycle: coordinator ticks the root
+// (channel-domain) tickers, publishes an epoch, workers tick their core
+// shards concurrently while deferring every shared-side effect, the
+// coordinator joins them and replays the buffers in shard order.
+//
+//nomad:owner host
+type parallelRunner struct {
+	workers int
+	shards  []*Engine    // every shard, in deterministic creation order
+	pool    []*parWorker // pool[0] is executed inline by the coordinator
+	epoch   atomic.Uint64
+	cycle   uint64 // cycle workers tick at; published via epoch
+	// spinLimit is how long barrier waits spin before yielding: 1024 when
+	// the whole pool fits on the host's CPUs (the waited-on party is truly
+	// running, so spinning is the fast path), 0 when the host is
+	// oversubscribed (the waited-on party only progresses when the waiter
+	// yields, so every spin is a wasted slice of its CPU). A host-speed
+	// policy only — results are byte-identical either way.
+	spinLimit int
+	started   bool
+	stopped   bool
+}
+
+// Parallel enables the parallel tick phase with the given number of workers
+// (including the coordinator itself, which executes one worker's share
+// inline). workers <= 0 leaves the engine sequential; workers == 1 runs the
+// full shard/defer/replay machinery on the coordinator alone, which the
+// equivalence tests use to isolate ordering bugs from concurrency bugs.
+func Parallel(workers int) Option {
+	return func(e *Engine) {
+		if workers <= 0 {
+			return
+		}
+		e.par = &parallelRunner{workers: workers}
+	}
+}
+
+// ParallelWorkers reports the configured tick-phase worker count (0 when the
+// engine is sequential).
+func (e *Engine) ParallelWorkers() int {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.workers
+}
+
+// NewShard returns the engine a tick-phase shard's components should be
+// wired to. On a sequential engine it returns the engine itself, so callers
+// wire components identically in both modes. On a parallel engine it returns
+// a facade whose AddTicker assigns tickers to this shard and whose scheduler
+// defers during the tick phase; shards tick in creation order, which must
+// therefore match the registration order a sequential build would use.
+func (e *Engine) NewShard() *Engine {
+	if e.rootEng != nil {
+		panic("sim: NewShard on a shard facade")
+	}
+	if e.par == nil {
+		return e
+	}
+	if e.par.started {
+		panic("sim: NewShard after the first parallel Step")
+	}
+	s := &Engine{now: e.now, rootEng: e}
+	s.sched = &shardSched{root: e}
+	e.par.shards = append(e.par.shards, s)
+	return s
+}
+
+// Root returns the engine owning the event queue: the engine itself, or the
+// parent of a shard facade.
+func (e *Engine) Root() *Engine {
+	if e.rootEng != nil {
+		return e.rootEng
+	}
+	return e
+}
+
+// Deferring reports whether calls made right now against this engine are
+// being deferred to the tick-phase barrier. Port mediation sites use it to
+// decide between calling through directly and buffering via Defer.
+func (e *Engine) Deferring() bool {
+	return e.rootEng != nil && e.rootEng.inTick
+}
+
+// Defer runs call at the tick-phase barrier, in program order with the
+// shard's buffered schedules, preserving the exact call order a sequential
+// tick would have produced. Outside the tick phase (or on a sequential
+// engine) the call runs immediately.
+func (e *Engine) Defer(call func()) {
+	if e.Deferring() {
+		s := e.sched.(*shardSched)
+		s.buf = append(s.buf, deferredOp{call: call})
+		return
+	}
+	call()
+}
+
+// StopWorkers shuts the tick-phase worker goroutines down. Idempotent and
+// safe on sequential engines; the engine remains usable afterwards but falls
+// back to coordinator-only parallel execution if stepped again.
+func (e *Engine) StopWorkers() {
+	r := e.par
+	if r == nil || !r.started || r.stopped {
+		return
+	}
+	r.stopped = true
+	r.epoch.Store(stopEpoch)
+}
+
+// start distributes shards round-robin over the worker pool and launches the
+// spinning goroutines (pool[0] runs inline on the coordinator).
+func (r *parallelRunner) start() {
+	n := r.workers
+	if n > len(r.shards) {
+		n = len(r.shards)
+	}
+	if n < 1 {
+		n = 1
+	}
+	r.pool = make([]*parWorker, n)
+	for i := range r.pool {
+		r.pool[i] = &parWorker{}
+	}
+	for i, s := range r.shards {
+		w := r.pool[i%n]
+		w.shards = append(w.shards, s)
+	}
+	r.started = true
+	r.spinLimit = 1024
+	if runtime.GOMAXPROCS(0) < len(r.pool) {
+		r.spinLimit = 0
+	}
+	for _, w := range r.pool[1:] {
+		w := w
+		go func() { //nomadlint:ignore concurrency -- the parallel engine's worker pool; exempted by name in the lint config
+			var last uint64
+			spins := 0
+			for {
+				ep := r.epoch.Load()
+				if ep == stopEpoch {
+					return
+				}
+				if ep == last {
+					if spins < r.spinLimit {
+						spins++
+					} else {
+						runtime.Gosched()
+					}
+					continue
+				}
+				last = ep
+				spins = 0
+				cyc := r.cycle
+				for _, s := range w.shards {
+					for _, t := range s.tickers {
+						t.Tick(cyc)
+					}
+				}
+				w.done.Store(ep)
+			}
+		}()
+	}
+}
+
+// runTicks executes one cycle's tick phase: root tickers inline (channel
+// domain, registration order), then the parallel core-shard phase, then the
+// deterministic buffer replay.
+func (r *parallelRunner) runTicks(e *Engine, now uint64) {
+	for _, t := range e.tickers {
+		t.Tick(now)
+	}
+	if len(r.shards) == 0 {
+		return
+	}
+	if !r.started {
+		r.start()
+	}
+	for _, s := range r.shards {
+		s.now = now
+	}
+	r.cycle = now
+	e.inTick = true
+	ep := r.epoch.Load() + 1
+	if r.stopped || len(r.pool) == 1 {
+		// Coordinator-only: every shard ticks here, same deferral rules.
+		for _, s := range r.shards {
+			for _, t := range s.tickers {
+				t.Tick(now)
+			}
+		}
+	} else {
+		r.epoch.Store(ep)
+		w0 := r.pool[0]
+		for _, s := range w0.shards {
+			for _, t := range s.tickers {
+				t.Tick(now)
+			}
+		}
+		spins := 0
+		for _, w := range r.pool[1:] {
+			for w.done.Load() != ep {
+				if spins < r.spinLimit {
+					spins++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}
+	}
+	e.inTick = false
+	// Replay: shard order, intra-shard FIFO. Sequential ticks run in this
+	// exact order and each tick's schedule/port calls are FIFO within it,
+	// so the root scheduler assigns the same sequence numbers — and
+	// therefore the same same-cycle event order — as the sequential engine.
+	for _, s := range r.shards {
+		ss := s.sched.(*shardSched)
+		buf := ss.buf
+		for i := range buf {
+			op := &buf[i]
+			if op.fn != nil {
+				if check.Enabled {
+					check.Assert(op.cycle >= now,
+						"sim: shard deferred an event at cycle %d, now is %d", op.cycle, now)
+				}
+				e.sched.ScheduleAt(op.cycle, op.fn)
+				op.fn = nil
+			} else {
+				op.call()
+				op.call = nil
+			}
+		}
+		ss.buf = buf[:0]
+	}
+}
+
+// validateShard panics on engine entry points that only make sense on the
+// root engine.
+func (e *Engine) validateShard(what string) {
+	if e.rootEng != nil {
+		panic(fmt.Sprintf("sim: %s on a shard facade", what))
+	}
+}

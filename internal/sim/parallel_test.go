@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// parShardTicker is a synthetic core-domain ticker: it owns private state
+// (its rng), schedules events against its own engine, and routes shared-log
+// appends through Defer — the same discipline the real core shards follow.
+type parShardTicker struct {
+	id   int
+	eng  *Engine
+	rng  uint64
+	log  *[]string
+	busy uint64 // cycles of work remaining; NextWork-driven
+}
+
+func (s *parShardTicker) next() uint64 {
+	// xorshift64: deterministic, private to the shard.
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	return s.rng
+}
+
+func (s *parShardTicker) Tick(now uint64) {
+	if s.busy == 0 {
+		return
+	}
+	s.busy--
+	r := s.next()
+	delay := r % 5
+	id, rr := s.id, r
+	s.eng.Schedule(delay, func() {
+		*s.log = append(*s.log, fmt.Sprintf("ev shard=%d sched@%d delay=%d r=%d", id, now, delay, rr))
+		if rr%7 == 0 {
+			// Refuel from the event phase: wakes the quiescent shard and
+			// exercises the post-jump tick path.
+			s.busy += 3
+		}
+	})
+	if r%3 == 0 {
+		s.eng.Defer(func() {
+			*s.log = append(*s.log, fmt.Sprintf("call shard=%d c=%d", id, now))
+		})
+	}
+}
+
+func (s *parShardTicker) NextWork(now uint64) uint64 {
+	if s.busy > 0 {
+		return now + 1
+	}
+	return NoWork
+}
+
+func (s *parShardTicker) SkipCycles(now, n uint64) {}
+
+// parRootTicker is a channel-domain stand-in: it runs on the coordinator and
+// may touch the shared log directly, exactly like the DRAM devices do with
+// the trace ring. It works every 17th cycle and fast-forwards in between so
+// the test covers jumps.
+type parRootTicker struct{ log *[]string }
+
+func (r *parRootTicker) Tick(now uint64) {
+	if now%17 == 0 {
+		*r.log = append(*r.log, fmt.Sprintf("root c=%d", now))
+	}
+}
+
+func (r *parRootTicker) NextWork(now uint64) uint64 { return (now/17 + 1) * 17 }
+
+func (r *parRootTicker) SkipCycles(now, n uint64) {}
+
+// buildParMachine wires one root ticker plus nShards shard tickers onto eng.
+// With workers == 0 the engine is sequential and every ticker lands on the
+// root, in the same order the parallel build creates its shards.
+func buildParMachine(eng *Engine, nShards int, log *[]string) []*parShardTicker {
+	eng.AddTicker(&parRootTicker{log: log})
+	shards := make([]*parShardTicker, nShards)
+	for i := 0; i < nShards; i++ {
+		s := &parShardTicker{id: i, eng: eng.NewShard(), rng: uint64(i)*2654435761 + 1, log: log, busy: 40}
+		s.eng.AddTicker(s)
+		shards[i] = s
+	}
+	return shards
+}
+
+func runParMachine(t *testing.T, workers, nShards int, cycles uint64) ([]string, uint64, uint64) {
+	t.Helper()
+	var opts []Option
+	if workers > 0 {
+		opts = append(opts, Parallel(workers))
+	}
+	eng := New(opts...)
+	defer eng.StopWorkers()
+	var log []string
+	buildParMachine(eng, nShards, &log)
+	eng.Run(cycles)
+	return log, eng.Now(), eng.Jumps()
+}
+
+// TestParallelByteIdenticalLog pins the core determinism claim at the engine
+// level: the parallel tick phase (any worker count, with fast-forward jumps
+// in play) produces exactly the sequential engine's event order and
+// tick-phase call order.
+func TestParallelByteIdenticalLog(t *testing.T) {
+	const nShards = 7
+	const cycles = 3000
+	refLog, refNow, refJumps := runParMachine(t, 0, nShards, cycles)
+	if len(refLog) == 0 {
+		t.Fatal("reference run produced an empty log")
+	}
+	if refJumps == 0 {
+		t.Fatal("reference run never fast-forwarded; the test wants jump coverage")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		log, now, jumps := runParMachine(t, workers, nShards, cycles)
+		if now != refNow {
+			t.Fatalf("workers=%d: final cycle %d, sequential %d", workers, now, refNow)
+		}
+		if jumps != refJumps {
+			t.Errorf("workers=%d: %d jumps, sequential %d", workers, jumps, refJumps)
+		}
+		if !reflect.DeepEqual(log, refLog) {
+			for i := range refLog {
+				if i >= len(log) || log[i] != refLog[i] {
+					t.Fatalf("workers=%d: log diverges at entry %d: got %q, want %q",
+						workers, i, log[i:min(i+3, len(log))], refLog[i:min(i+3, len(refLog))])
+				}
+			}
+			t.Fatalf("workers=%d: log is a strict prefix: %d entries vs %d", workers, len(log), len(refLog))
+		}
+	}
+}
+
+// TestParallelStopWorkersFallback: after StopWorkers the engine must keep
+// producing identical results on the coordinator-only path.
+func TestParallelStopWorkersFallback(t *testing.T) {
+	refLog, refNow, _ := runParMachine(t, 0, 4, 2000)
+
+	eng := New(Parallel(4))
+	var log []string
+	buildParMachine(eng, 4, &log)
+	eng.Run(1000)
+	eng.StopWorkers()
+	eng.Run(1000)
+	if eng.Now() != refNow {
+		t.Fatalf("final cycle %d, want %d", eng.Now(), refNow)
+	}
+	if !reflect.DeepEqual(log, refLog) {
+		t.Fatalf("coordinator-only continuation diverged: %d entries vs %d", len(log), len(refLog))
+	}
+	eng.StopWorkers() // idempotent
+}
+
+func TestDeferOutsideTickRunsImmediately(t *testing.T) {
+	eng := New(Parallel(2))
+	defer eng.StopWorkers()
+	sh := eng.NewShard()
+	ran := false
+	sh.Defer(func() { ran = true })
+	if !ran {
+		t.Fatal("Defer outside the tick phase must run immediately")
+	}
+	seq := New()
+	ran = false
+	seq.Defer(func() { ran = true })
+	if !ran {
+		t.Fatal("Defer on a sequential engine must run immediately")
+	}
+}
+
+func TestNewShardSequentialReturnsRoot(t *testing.T) {
+	eng := New()
+	if sh := eng.NewShard(); sh != eng {
+		t.Fatal("NewShard on a sequential engine must return the engine itself")
+	}
+	if eng.ParallelWorkers() != 0 {
+		t.Fatalf("sequential engine reports %d workers", eng.ParallelWorkers())
+	}
+}
+
+func TestShardFacadeGuards(t *testing.T) {
+	eng := New(Parallel(2))
+	defer eng.StopWorkers()
+	sh := eng.NewShard()
+	if sh == eng {
+		t.Fatal("parallel NewShard must return a facade")
+	}
+	if sh.Root() != eng || eng.Root() != eng {
+		t.Fatal("Root must resolve to the owning engine")
+	}
+	mustPanic(t, "Step on facade", func() { sh.Step() })
+	mustPanic(t, "NewShard on facade", func() { sh.NewShard() })
+	eng.AddTicker(TickerFunc(func(uint64) {}))
+	eng.Step() // starts the workers
+	mustPanic(t, "NewShard after start", func() { eng.NewShard() })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"nomad/internal/metrics"
+)
+
+// parRun executes one instrumented small run (timeline, digests, trace and
+// span rings all on) with the given tick-phase worker count and returns the
+// marshalled snapshot and the Perfetto trace bytes.
+func parRun(t *testing.T, s SchemeName, workers int, cores int) ([]byte, []byte) {
+	t.Helper()
+	cfg := smallConfig(s)
+	cfg.Cores = cores
+	cfg.Timeline = true
+	cfg.Digests = true
+	cfg.Interval = 20_000
+	cfg.TraceDepth = 1 << 12
+	cfg.SpanDepth = 1 << 11
+	cfg.Workers = workers
+	m, err := New(cfg, smallSpec())
+	if err != nil {
+		t.Fatalf("New(%s, workers=%d): %v", s, workers, err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run(%s, workers=%d): %v", s, workers, err)
+	}
+	snap, err := json.Marshal(r.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := metrics.WritePerfetto(&trace, metrics.PerfettoRun{Name: "par", Dump: r.Trace}); err != nil {
+		t.Fatal(err)
+	}
+	return snap, trace.Bytes()
+}
+
+// TestParallelByteIdentical is the parallel-mode correctness contract: for
+// every scheme, a run with the tick phase sharded over 1, 2, or 4 workers
+// must produce byte-for-byte the sequential engine's metrics snapshot
+// (counters, timeline, interval digest chains) and Perfetto trace. workers=1
+// exercises the full shard/defer/replay machinery without concurrency, so a
+// failure there is an ordering bug and a failure only at >1 is a race.
+func TestParallelByteIdentical(t *testing.T) {
+	const cores = 4
+	for _, s := range AllSchemes() {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			refSnap, refTrace := parRun(t, s, 0, cores)
+			var sn metrics.Snapshot
+			if err := json.Unmarshal(refSnap, &sn); err != nil {
+				t.Fatal(err)
+			}
+			if sn.Digests.Windows() == 0 {
+				t.Fatal("reference run produced no digest chains; the equivalence check would be vacuous")
+			}
+			for _, workers := range []int{1, 2, 4} {
+				snap, trace := parRun(t, s, workers, cores)
+				if !bytes.Equal(refSnap, snap) {
+					t.Errorf("workers=%d: metrics snapshot differs from sequential\nseq: %.400s\npar: %.400s",
+						workers, refSnap, snap)
+				}
+				if !bytes.Equal(refTrace, trace) {
+					t.Errorf("workers=%d: Perfetto trace differs from sequential", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFastForwardByteIdentical pins the parallel x fast-forward
+// corner: sharded ticking composes with idle-cycle jumps (quiescence polls
+// and bulk skip accounting run on the coordinator) without disturbing the
+// byte-identity contract.
+func TestParallelFastForwardByteIdentical(t *testing.T) {
+	for _, ff := range []bool{true, false} {
+		t.Run(fmt.Sprintf("ff=%v", ff), func(t *testing.T) {
+			run := func(workers int) []byte {
+				cfg := smallConfig(SchemeNOMAD)
+				cfg.Timeline = true
+				cfg.Digests = true
+				cfg.Interval = 20_000
+				cfg.FastForward = ff
+				cfg.Workers = workers
+				m, err := New(cfg, smallSpec())
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap, err := json.Marshal(r.Metrics)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return snap
+			}
+			ref := run(0)
+			if got := run(4); !bytes.Equal(ref, got) {
+				t.Errorf("ff=%v: parallel snapshot differs from sequential", ff)
+			}
+		})
+	}
+}
